@@ -1,0 +1,16 @@
+"""Bench: ablation — leveled vs size-tiered compaction under attack."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ablation_compaction
+
+
+def test_compaction_style_ablation(benchmark):
+    report = benchmark.pedantic(exp_ablation_compaction.run, rounds=1,
+                                iterations=1)
+    emit(report)
+    # Tree shape is not a defense: both styles leak the same keys.
+    assert report.summary["same_keys_leak"]
+    rows = {r["compaction"]: r for r in report.rows}
+    assert rows["leveled"]["correct"] == rows["leveled"]["keys_extracted"]
+    assert rows["tiered"]["correct"] == rows["tiered"]["keys_extracted"]

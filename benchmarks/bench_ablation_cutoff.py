@@ -1,0 +1,19 @@
+"""Bench: ablation — sensitivity of the attack to the timing cutoff."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ablation_cutoff
+
+
+def test_cutoff_sensitivity(benchmark):
+    report = benchmark.pedantic(exp_ablation_cutoff.run,
+                                rounds=1, iterations=1)
+    emit(report)
+    rows = {r["cutoff_us"]: r for r in report.rows}
+    # The derived cutoff sits on a wide near-perfect plateau...
+    derived = report.summary["derived_cutoff_us"]
+    assert rows[derived]["accuracy"] > 0.99
+    plateau = [r for c, r in rows.items() if 15.0 <= c <= 25.0]
+    assert all(r["accuracy"] > 0.99 for r in plateau)
+    # ...while a cutoff inside the fast mode floods with false positives.
+    assert rows[5.0]["false_positive_rate"] > 0.5

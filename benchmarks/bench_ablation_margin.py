@@ -1,0 +1,17 @@
+"""Bench: ablation — timing margin vs device speed (DESIGN.md decision 1)."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ablation_margin
+
+
+def test_timing_margin_ablation(benchmark):
+    report = benchmark.pedantic(exp_ablation_margin.run, rounds=1,
+                                iterations=1)
+    emit(report)
+    # The channel is wide open at NVMe latencies...
+    assert report.summary["detection_at_nvme_20us"] > 0.9
+    # ...and must close once storage reads hide inside the CPU noise.
+    assert report.summary["channel_closes"]
+    rates = [r["fp_detection_rate"] for r in report.rows]
+    assert rates[0] >= rates[-1]

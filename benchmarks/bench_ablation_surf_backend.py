@@ -1,0 +1,31 @@
+"""Bench: ablation — SuRF dict-trie vs LOUDS backend (DESIGN.md decision 2)."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ablation_backend
+from repro.common.rng import make_rng
+from repro.filters.surf import SuRF
+from repro.workloads.keygen import sha1_dataset
+
+
+def test_backend_agreement_report(benchmark):
+    report = benchmark.pedantic(exp_ablation_backend.run,
+                                rounds=1, iterations=1)
+    emit(report)
+    assert report.summary["backends_agree_on_all_queries"]
+
+
+def test_trie_backend_query_throughput(benchmark):
+    keys = sha1_dataset(10_000, 5, seed=1)
+    filt = SuRF.build(keys, variant="real", backend="trie")
+    rng = make_rng(2, "probe")
+    probes = [rng.random_bytes(5) for _ in range(1000)]
+    benchmark(lambda: [filt.may_contain(p) for p in probes])
+
+
+def test_louds_backend_query_throughput(benchmark):
+    keys = sha1_dataset(10_000, 5, seed=1)
+    filt = SuRF.build(keys, variant="real", backend="louds")
+    rng = make_rng(2, "probe")
+    probes = [rng.random_bytes(5) for _ in range(1000)]
+    benchmark(lambda: [filt.may_contain(p) for p in probes])

@@ -1,0 +1,18 @@
+"""Bench: extension — detecting prefix siphoning from the request stream."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_detector
+
+
+def test_detector(benchmark):
+    report = benchmark.pedantic(exp_detector.run, rounds=1, iterations=1)
+    emit(report)
+    # Every attack variant is flagged; benign traffic never is.
+    assert report.summary["point_attack_flagged"]
+    assert report.summary["range_attack_flagged"]
+    assert not report.summary["benign_false_positive"]
+    rows = {r["traffic"]: r for r in report.rows}
+    # The signal separation is wide, not marginal.
+    assert rows["point siphoning attack"]["miss_ratio"] > 0.95
+    assert rows["benign 50/50 background load"]["miss_ratio"] < 0.6

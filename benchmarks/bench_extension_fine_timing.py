@@ -1,0 +1,17 @@
+"""Bench: extension — the fine-grained cache-timing channel (§5.2 footnote)."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_fine_timing
+
+
+def test_fine_timing_channel(benchmark):
+    report = benchmark.pedantic(exp_fine_timing.run, rounds=1, iterations=1)
+    emit(report)
+    coarse, fine = report.rows
+    # The footnote's channel works: full keys extracted with no waits.
+    assert report.summary["fine_extracts_keys"]
+    assert fine["correct"] == fine["keys_extracted"]
+    # It trades more queries for a large real-time speedup.
+    assert fine["total_queries"] > coarse["total_queries"]
+    assert report.summary["speedup_vs_coarse"] > 2.0

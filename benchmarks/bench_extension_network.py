@@ -1,0 +1,19 @@
+"""Bench: extension — remote-attacker feasibility across network noise."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_network
+
+
+def test_network_feasibility(benchmark):
+    report = benchmark.pedantic(exp_network.run, rounds=1, iterations=1)
+    emit(report)
+    rows = {r["network"]: r for r in report.rows}
+    # Section 4's assumption holds at LAN/datacenter grade noise: the
+    # 4-query average detects false positives essentially perfectly.
+    assert rows["lan"]["fp_detection_rate"] > 0.9
+    assert rows["datacenter"]["fp_detection_rate"] > 0.9
+    # The learning phase correctly normalizes out the RTT baseline.
+    assert rows["wan"]["baseline_learned_us"] > 0.9 * rows["wan"]["rtt_us"]
+    # False alarms stay rare even across the WAN.
+    assert rows["wan"]["false_alarm_rate"] < 0.05

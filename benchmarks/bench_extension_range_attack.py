@@ -1,0 +1,20 @@
+"""Bench: extension — the anticipated range-query attack (sections 5, 11)."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_range_attack
+
+
+def test_range_descent_attack(benchmark):
+    report = benchmark.pedantic(exp_range_attack.run, rounds=1, iterations=1)
+    emit(report)
+    rows = {r["attack"]: r for r in report.rows}
+    descent = rows["range descent vs SuRF-Real"]
+    rosetta = rows["range descent vs Rosetta"]
+    # Systematic enumeration of real keys, in lexicographic order.
+    assert descent["keys_extracted"] == descent["correct"] > 0
+    assert descent["systematic"]
+    # Section 11's warning realized: Rosetta blocks the point attack but
+    # surrenders keys through its range interface, nearly for free.
+    assert report.summary["rosetta_defeated_by_ranges"]
+    assert rosetta["queries_per_key"] < descent["queries_per_key"] / 10

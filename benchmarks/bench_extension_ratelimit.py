@@ -1,0 +1,14 @@
+"""Bench: extension — rate limiting slows the attack without stopping it."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ratelimit
+
+
+def test_ratelimit_mitigation(benchmark):
+    report = benchmark.pedantic(exp_ratelimit.run, rounds=1, iterations=1)
+    emit(report)
+    # Section 11: the side channel is intact (same keys extracted)...
+    assert report.summary["extraction_unaffected"]
+    # ...but the attack's duration balloons with the rate cap.
+    assert report.summary["slowdown_at_1000rps"] > 10.0

@@ -1,0 +1,15 @@
+"""Bench: extension — skewed key distributions (section 8's worst-case claim)."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_skew
+
+
+def test_skew_helps_attacker(benchmark):
+    report = benchmark.pedantic(exp_skew.run, rounds=1, iterations=1)
+    emit(report)
+    # Section 8's predictions: longer identified prefixes and cheaper
+    # extension under skew — uniform keys are the attack's worst case.
+    assert report.summary["skew_longer_prefixes"]
+    assert report.summary["skew_cheaper_per_key"]
+    assert report.summary["per_key_cost_ratio"] > 3.0

@@ -1,0 +1,18 @@
+"""Bench: paper Figure 2 — response-time breakdown by key type."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_fig2
+
+
+def test_fig2_distribution_breakdown(benchmark):
+    report = benchmark.pedantic(exp_fig2.run, rounds=1, iterations=1)
+    emit(report)
+    # Paper: >50% of false positives land above the cutoff; the cutoff
+    # classifies nearly perfectly.
+    assert report.summary["fp_fraction_above_cutoff"] > 0.5
+    assert report.summary["classifier_tpr"] > 0.9
+    assert report.summary["classifier_fpr"] < 0.01
+    # The slow buckets are overwhelmingly false positives.
+    slow = [r for r in report.rows if r["bucket_us"] == ">= 25"][0]
+    assert slow["fp_percent_of_bucket"] > 90.0

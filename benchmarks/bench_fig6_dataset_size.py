@@ -1,0 +1,16 @@
+"""Bench: paper Figure 6 — sensitivity to dataset size."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_fig6
+
+
+def test_fig6_dataset_size(benchmark):
+    report = benchmark.pedantic(exp_fig6.run, rounds=1, iterations=1)
+    emit(report)
+    extracted = [r["keys_extracted"] for r in report.rows]
+    # Paper: the attack extracts ~4x more keys from the 5x larger dataset
+    # — growth must be substantial and (near-)monotone.
+    assert extracted[-1] >= 2.5 * max(1, extracted[0])
+    assert all(b >= a - 1 for a, b in zip(extracted, extracted[1:]))
+    assert all(r["correct"] == r["keys_extracted"] for r in report.rows)

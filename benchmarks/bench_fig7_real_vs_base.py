@@ -1,0 +1,20 @@
+"""Bench: paper Figure 7 — SuRF-Real vs SuRF-Base."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_fig7
+
+
+def test_fig7_real_vs_base(benchmark):
+    report = benchmark.pedantic(exp_fig7.run, rounds=1, iterations=1)
+    emit(report)
+    rows = {r["variant"]: r for r in report.rows}
+    # Paper's counterintuitive core finding: the better-FPR variant
+    # (SuRF-Real) leaks far more keys (420 vs 21 at paper scale).
+    assert report.summary["real_extracts_more"]
+    assert rows["surf-real"]["keys_extracted"] >= max(
+        5, 4 * rows["surf-base"]["keys_extracted"])
+    # SuRF-Base finds far more FPs but discards nearly all of them.
+    assert rows["surf-base"]["fps_found"] > 10 * rows["surf-real"]["fps_found"]
+    assert (rows["surf-base"]["prefixes_discarded"]
+            > 0.9 * rows["surf-base"]["fps_found"])

@@ -1,0 +1,23 @@
+"""Bench: paper Figure 8 — idealized prefix siphoning against the PBF."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_fig8
+
+
+def test_fig8_pbf(benchmark):
+    report = benchmark.pedantic(exp_fig8.run, rounds=1, iterations=1)
+    emit(report)
+    # Section 7.2.1: the FP-rate bump identifies the configured l.
+    assert report.summary["detected_prefix_len"] == report.summary[
+        "true_prefix_len"]
+    # Section 10.4: extraction matches the expected prefix-FP count...
+    extracted = report.summary["keys_extracted"]
+    expected = report.summary["expected_prefix_fps"]
+    assert 0.6 * expected <= extracted <= 1.6 * expected
+    assert report.summary["correct"] == extracted
+    # ...with real waste from Bloom (non-prefix) false positives, yet
+    # still far better than brute force.
+    assert report.summary["wasted_queries"] > 0
+    assert (report.summary["queries_per_key"]
+            < report.summary["bruteforce_queries_per_key"] / 10)

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the substrate primitives (wall-clock, not simulated).
+
+Unlike the experiment benches — which reproduce the paper's tables on the
+simulated clock — these measure the *Python implementation's* real
+throughput, the numbers a contributor watches when optimizing: memtable
+inserts, LSM point reads (hit and filter-rejected miss), filter queries
+per family, and range scans.
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.filters import (
+    BloomFilter,
+    PrefixBloomFilter,
+    RosettaFilter,
+    SuRF,
+)
+from repro.filters.surf import SuRFBuilder
+from repro.lsm.db import LSMTree
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import LSMOptions
+from repro.workloads.keygen import sha1_dataset
+
+KEYS = sha1_dataset(20_000, 5, seed=77)
+PROBE_RNG = make_rng(78, "micro-probes")
+PROBES = [PROBE_RNG.random_bytes(5) for _ in range(512)]
+HITS = KEYS[:: max(1, len(KEYS) // 512)][:512]
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    db = LSMTree(LSMOptions(
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8)))
+    db.bulk_load([(k, k[::-1] * 4) for k in KEYS])
+    return db
+
+
+def test_memtable_put_throughput(benchmark):
+    items = [(PROBE_RNG.random_bytes(5), b"v" * 32) for _ in range(512)]
+
+    def insert_batch():
+        table = MemTable()
+        for key, value in items:
+            table.put(key, value)
+
+    benchmark(insert_batch)
+
+
+def test_db_get_hit(benchmark, loaded_db):
+    benchmark(lambda: [loaded_db.get(k) for k in HITS])
+
+
+def test_db_get_filtered_miss(benchmark, loaded_db):
+    benchmark(lambda: [loaded_db.get(p) for p in PROBES])
+
+
+def test_db_range_query(benchmark, loaded_db):
+    low = KEYS[len(KEYS) // 2]
+    high = KEYS[len(KEYS) // 2 + 200]
+    benchmark(lambda: loaded_db.range_query(low, high))
+
+
+def _bench_filter(benchmark, filt):
+    benchmark(lambda: [filt.may_contain(p) for p in PROBES])
+
+
+def test_bloom_query(benchmark):
+    filt = BloomFilter.for_entries(len(KEYS), 10)
+    for key in KEYS:
+        filt.add(key)
+    _bench_filter(benchmark, filt)
+
+
+def test_pbf_query(benchmark):
+    filt = PrefixBloomFilter.for_entries(len(KEYS), 18.0, 3)
+    for key in KEYS:
+        filt.add(key)
+    _bench_filter(benchmark, filt)
+
+
+def test_surf_trie_query(benchmark):
+    _bench_filter(benchmark, SuRF.build(KEYS, variant="real", backend="trie"))
+
+
+def test_surf_louds_query(benchmark):
+    _bench_filter(benchmark, SuRF.build(KEYS, variant="real",
+                                        backend="louds"))
+
+
+def test_rosetta_query(benchmark):
+    filt = RosettaFilter(5, len(KEYS), 4.0)
+    for key in KEYS:
+        filt.add(key)
+    _bench_filter(benchmark, filt)
+
+
+def test_surf_range_query(benchmark):
+    filt = SuRF.build(KEYS, variant="real", backend="trie")
+    ranges = [(p[:3] + b"\x00\x00", p[:3] + b"\xff\xff") for p in PROBES[:256]]
+    benchmark(lambda: [filt.may_contain_range(lo, hi) for lo, hi in ranges])

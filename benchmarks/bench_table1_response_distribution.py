@@ -1,0 +1,16 @@
+"""Bench: paper Table 1 — distribution of query response times."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_table1
+
+
+def test_table1_response_distribution(benchmark):
+    report = benchmark.pedantic(exp_table1.run, rounds=1, iterations=1)
+    emit(report)
+    rows = {r["bucket"]: r["percent"] for r in report.rows}
+    # Paper shape: the 5-10us bucket dominates (88.3%), the high tail is
+    # the filter-positive/I/O mode.
+    assert rows["5 - 10"] > 80.0
+    assert rows[">= 25"] > 0.0
+    assert report.summary["derived_cutoff_us"] >= 10.0

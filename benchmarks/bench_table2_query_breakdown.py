@@ -1,0 +1,17 @@
+"""Bench: paper Table 2 — attack queries per stage."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_table2
+
+
+def test_table2_query_breakdown(benchmark):
+    report = benchmark.pedantic(exp_table2.run, rounds=1, iterations=1)
+    emit(report)
+    rows = {r["stage"]: r for r in report.rows}
+    # Paper shape: extension dominates (91.68%), IdPrefix is negligible
+    # (0.0009%), FindFPK small.
+    assert rows["extend"]["percent"] > 60.0
+    assert rows["id_prefix"]["percent"] < 1.0
+    assert rows["extend"]["queries"] > rows["find_fpk"]["queries"]
+    assert report.summary["keys_extracted"] > 0

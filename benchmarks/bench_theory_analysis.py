@@ -1,0 +1,23 @@
+"""Bench: section 8 — closed-form complexity analysis."""
+
+from conftest import emit
+
+from repro.bench.experiments import exp_theory
+
+
+def test_theory_analysis(benchmark):
+    report = benchmark.pedantic(exp_theory.run, rounds=1, iterations=1)
+    emit(report)
+    surf_paper = report.rows[0]
+    pbf_paper = report.rows[1]
+    ranged = report.rows[-1]
+    # Paper 10.3.1: ~400 keys, ~9M queries/key, 40992x over brute force.
+    assert 300 <= surf_paper["expected_extracted"] <= 500
+    assert 6e6 <= surf_paper["queries_per_key"] <= 13e6
+    assert 2e4 <= surf_paper["reduction_factor"] <= 9e4
+    # Paper 10.4: 45.4 expected prefix FPs, ~160M queries/key.
+    assert 40 <= pbf_paper["expected_extracted"] <= 50
+    assert 1e8 <= pbf_paper["queries_per_key"] <= 2.5e8
+    # The anticipated range attack: point-attack cost, whole-dataset reach.
+    assert ranged["expected_extracted"] > 0.9 * 50_000_000
+    assert ranged["queries_per_key"] < 3 * surf_paper["queries_per_key"]

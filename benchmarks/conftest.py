@@ -1,0 +1,35 @@
+"""Benchmark plumbing: report emission shared by every bench module.
+
+Each bench runs one experiment (timed via pytest-benchmark's pedantic
+mode — the metric is "seconds to reproduce this table/figure"), asserts
+the paper's qualitative claim, prints the full report, and writes it under
+``results/`` so `pytest benchmarks/ --benchmark-only | tee` leaves a
+complete record even with output capture on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.bench.report import ExperimentReport, format_report
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(report: ExperimentReport) -> str:
+    """Print the report and persist it as results/<experiment>.{txt,json}.
+
+    The JSON twin carries the same rows/series/summary in machine-readable
+    form for downstream plotting.
+    """
+    text = format_report(report)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{report.experiment}.txt").write_text(text + "\n")
+    payload = dataclasses.asdict(report)
+    (RESULTS_DIR / f"{report.experiment}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n")
+    return text

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Explicitly secret keys: disclosing database rows via their primary keys.
+
+Database systems such as CockroachDB, YugabyteDB and MyRocks encode table
+rows onto key-value store keys as ``table_id || primary_key`` (paper
+section 3).  When the primary key is itself sensitive — a national id, an
+account number — *key* disclosure equals *data* disclosure, even though
+the attacker can never read a single row.
+
+Here a table of "citizens" keyed by a 4-byte national id sits in an
+LSM-tree with SuRF-Real.  The schema (and hence the 2-byte table id) is
+public; the ids are secret.  The attacker pins FindFPK's guesses to the
+table-id prefix and siphons national ids out of the filter.
+
+Run:  python examples/database_row_disclosure.py
+"""
+
+from repro.common.keys import key_to_int
+from repro.core import (
+    AttackConfig,
+    IdealizedOracle,
+    PrefixSiphoningAttack,
+    SurfAttackStrategy,
+)
+from repro.filters import SuRFBuilder
+from repro.lsm import LSMOptions, LSMTree
+from repro.filters.surf import SuffixScheme, SurfVariant
+from repro.system import Acl, KVService, pack_value
+from repro.common.rng import make_rng
+
+TABLE_ID = (42).to_bytes(2, "big")  # public: from the schema
+KEY_WIDTH = 6  # table id (2) + national id (4)
+NUM_ROWS = 30_000
+OWNER, ATTACKER = 1, 666
+
+
+def build_citizen_table() -> LSMTree:
+    """An LSM-tree holding one row per citizen, keyed by national id."""
+    rng = make_rng(2024, "citizens")
+    ids = sorted({rng.randint(100_000_000, 999_999_999)
+                  for _ in range(NUM_ROWS)})
+    acl = Acl(owner=OWNER)
+    items = [
+        (TABLE_ID + national_id.to_bytes(4, "big"),
+         pack_value(acl, f"row-of-citizen-{national_id}".encode()))
+        for national_id in ids
+    ]
+    db = LSMTree(LSMOptions(
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8)))
+    db.bulk_load(items)
+    return db
+
+
+def main() -> None:
+    print(f"loading {NUM_ROWS:,} citizen rows keyed by secret national id...")
+    db = build_citizen_table()
+    service = KVService(db)
+
+    # The attacker knows the key layout: table id 42, then 4 secret bytes.
+    oracle = IdealizedOracle(service, ATTACKER)
+    strategy = SurfAttackStrategy(
+        key_width=KEY_WIDTH,
+        filter_scheme=SuffixScheme(SurfVariant.REAL, 8),
+        candidate_prefix=TABLE_ID,
+    )
+    attack = PrefixSiphoningAttack(oracle, strategy, AttackConfig(
+        key_width=KEY_WIDTH, num_candidates=40_000))
+
+    print("siphoning primary keys out of the range filter...")
+    result = attack.run()
+
+    print(f"\ndisclosed {result.num_extracted} national ids "
+          f"(every 'unauthorized' response confirms a real row):")
+    for extracted in result.extracted[:10]:
+        national_id = key_to_int(extracted.key[2:])
+        print(f"  national id {national_id}")
+    if result.num_extracted > 10:
+        print(f"  ... and {result.num_extracted - 10} more")
+    print(f"\ntotal queries: {result.total_queries:,} "
+          f"({result.queries_per_key():,.0f} per disclosed id; guessing "
+          f"blind would need ~{(2**32) / NUM_ROWS:,.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Implicitly secret keys: leaking object names from an object store.
+
+Object storage systems map object names to values in a key-value store;
+names are tacitly assumed hard to guess, and disclosure creates an
+insecure-direct-object-reference risk (paper section 3).  This demo's
+store hides the failure cause (no 404-vs-403 distinction), so full-key
+extraction is off the table — but prefix siphoning still leaks object
+*name prefixes* (section 5.1), here over variable-length string keys
+using the truncation IdPrefix, which needs no fixed key width.
+
+Run:  python examples/object_store_prefixes.py
+"""
+
+import string
+
+from repro.core import AttackConfig, IdealizedOracle, PrefixSiphoningAttack
+from repro.core.surf_attack import SurfAttackStrategy
+from repro.filters import SuRFBuilder
+from repro.filters.surf import SuffixScheme, SurfVariant
+from repro.lsm import LSMOptions, LSMTree
+from repro.system import Acl, KVService, pack_value
+from repro.common.rng import make_rng
+from repro.workloads import StringKeyGenerator
+
+OWNER, ATTACKER = 1, 666
+NUM_OBJECTS = 30_000
+NAME_LEN = 20  # attacker probes at a fixed plausible name length
+
+
+class StringKeyStrategy(SurfAttackStrategy):
+    """FindFPK over plausible object names instead of raw random bytes.
+
+    The attacker knows names look like ``<bucket>/<token>...`` and guesses
+    within that shape — the paper's worst-case analysis assumes uniform
+    keys precisely because structure like this only helps the attacker.
+    """
+
+    _CHARSET = (string.ascii_lowercase + "-/").encode()
+
+    def __init__(self, buckets, **kwargs):
+        super().__init__(**kwargs)
+        self._buckets = buckets
+        self._gen_rng = make_rng(99, "string-candidates")
+
+    def generate_candidates(self, count):
+        out = []
+        for _ in range(count):
+            bucket = self._gen_rng.choice(self._buckets)
+            tail_len = self.key_width - len(bucket) - 1
+            tail = bytes(self._gen_rng.choice(self._CHARSET)
+                         for _ in range(tail_len))
+            out.append(bucket + b"/" + tail)
+        return out
+
+
+def main() -> None:
+    print(f"loading {NUM_OBJECTS:,} objects with hierarchical names...")
+    names = StringKeyGenerator(seed=7).keys(NUM_OBJECTS)
+    acl = Acl(owner=OWNER)
+    db = LSMTree(LSMOptions(
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8)))
+    db.bulk_load([(name, pack_value(acl, b"object-bytes")) for name in names])
+    # The store hides whether a failure is 404 or 403:
+    service = KVService(db, distinguish_unauthorized=False)
+
+    buckets = sorted({name.split(b"/")[0] for name in names})
+    print(f"  buckets (public knowledge): "
+          f"{', '.join(b.decode() for b in buckets)}")
+
+    strategy = StringKeyStrategy(
+        buckets=buckets, key_width=NAME_LEN,
+        filter_scheme=SuffixScheme(SurfVariant.REAL, 8))
+    attack = PrefixSiphoningAttack(
+        IdealizedOracle(service, ATTACKER), strategy,
+        AttackConfig(key_width=NAME_LEN, num_candidates=15_000,
+                     extend=False))  # no 403 signal => prefixes only
+
+    print("siphoning object-name prefixes...")
+    result = attack.run()
+
+    real = [p for p in result.prefixes_identified
+            if len(p.prefix) > 10
+            and any(name.startswith(p.prefix) for name in names)]
+    print(f"\nidentified {len(result.prefixes_identified)} prefixes; "
+          f"{len(real)} are >10-char true object-name prefixes, e.g.:")
+    shown = set()
+    for candidate in real:
+        rendered = candidate.prefix.decode(errors="replace")
+        if rendered not in shown:
+            shown.add(rendered)
+            print(f"  {rendered}...")
+        if len(shown) >= 10:
+            break
+    print("\neach leaked prefix shrinks the name-guessing space for an "
+          "insecure-direct-object-reference probe (OWASP IDOR)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The full timing attack, end to end (paper sections 5.3, 9, 10.2).
+
+Unlike the quickstart's idealized oracle, this attacker has *no* access to
+the engine: it learns everything from response times.
+
+1. Learning phase: query random keys, build the response-time histogram
+   (paper Table 1), derive the fast/slow cutoff from its shape.
+2. FindFPK: classify candidates by 4-query averages, breadth-first, with
+   background-load cache-eviction waits between rounds.
+3. IdPrefix: shrink each false positive to its shared prefix.
+4. Extension: brute-force the remaining suffixes, watching for
+   "unauthorized" responses.
+
+Run:  python examples/timing_attack_demo.py
+"""
+
+from repro.core import (
+    AttackConfig,
+    PrefixSiphoningAttack,
+    SurfAttackStrategy,
+    TimingOracle,
+    learn_cutoff,
+)
+from repro.filters import SuRFBuilder
+from repro.filters.surf import SuffixScheme, SurfVariant
+from repro.workloads import ATTACKER_USER, DatasetConfig, build_environment
+
+KEY_WIDTH = 5
+
+
+def main() -> None:
+    print("building the attacked system...")
+    env = build_environment(DatasetConfig(
+        num_keys=20_000, key_width=KEY_WIDTH,
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+    ))
+
+    print("phase 1: learning the response-time distribution "
+          "(10k random queries)...")
+    learning = learn_cutoff(env.service, ATTACKER_USER, key_width=KEY_WIDTH,
+                            num_samples=10_000, background=env.background)
+    for row in learning.histogram.as_table():
+        bar = "#" * int(row["percent"] / 2)
+        print(f"  {row['bucket']:>8} us  {row['percent']:6.2f}%  {bar}")
+    print(f"  derived cutoff: {learning.cutoff_us:.0f} us "
+          f"(fast = filter negative, slow = I/O)")
+
+    print("phase 2: the attack (timing oracle, 4-query averages)...")
+    oracle = TimingOracle(env.service, ATTACKER_USER,
+                          cutoff_us=learning.cutoff_us, rounds=4,
+                          background=env.background, wait_us=2_000_000)
+    strategy = SurfAttackStrategy(
+        key_width=KEY_WIDTH, filter_scheme=SuffixScheme(SurfVariant.REAL, 8))
+    attack = PrefixSiphoningAttack(oracle, strategy, AttackConfig(
+        key_width=KEY_WIDTH, num_candidates=15_000))
+    result = attack.run()
+
+    stored = env.key_set
+    correct = sum(1 for e in result.extracted if e.key in stored)
+    print(f"\nextracted {result.num_extracted} keys ({correct} verified) "
+          f"using only response times and response codes")
+    for row in result.stage_table():
+        print(f"  {row['stage']:<10} {row['queries']:>10,} queries "
+              f"({row['percent']:5.2f}%)")
+    print(f"  simulated attack duration: "
+          f"{result.sim_duration_us / 6e7:.1f} minutes "
+          f"({result.sim_duration_us / 6e7 / max(1, result.num_extracted):.2f}"
+          f" min/key; the paper's actual attack ran at ~10 min/key)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduction of "Prefix Siphoning: Exploiting LSM-Tree Range Filters For
+Information Disclosure" (Kaufman, Hershcovitch, Morrison — USENIX Security
+2023).
+
+Public API tour:
+
+* :mod:`repro.core` — the attack framework (FindFPK/IdPrefix strategies,
+  timing and idealized oracles, the three-step template, brute force).
+* :mod:`repro.lsm` — the LSM-tree key-value store substrate.
+* :mod:`repro.filters` — Bloom, prefix Bloom, SuRF (Base/Hash/Real, dict
+  and LOUDS backends), Rosetta.
+* :mod:`repro.storage` — simulated clock, NVMe device, page cache,
+  background load (the timing-side-channel substrate; see DESIGN.md).
+* :mod:`repro.system` — the ACL-checking service of the threat model.
+* :mod:`repro.workloads` — key generators and one-call environments.
+* :mod:`repro.analysis` — section-8 closed forms and distribution tools.
+* :mod:`repro.bench` — one experiment module per paper table/figure.
+
+Quickstart::
+
+    from repro.workloads import DatasetConfig, build_environment, ATTACKER_USER
+    from repro.filters import SuRFBuilder
+    from repro.filters.surf import SuffixScheme, SurfVariant
+    from repro.core import (IdealizedOracle, SurfAttackStrategy,
+                            AttackConfig, PrefixSiphoningAttack)
+
+    env = build_environment(DatasetConfig(
+        num_keys=20_000, key_width=5,
+        filter_builder=SuRFBuilder(variant="real")))
+    oracle = IdealizedOracle(env.service, ATTACKER_USER)
+    strategy = SurfAttackStrategy(
+        key_width=5, filter_scheme=SuffixScheme(SurfVariant.REAL, 8))
+    attack = PrefixSiphoningAttack(
+        oracle, strategy, AttackConfig(key_width=5, num_candidates=30_000))
+    print(attack.run().num_extracted, "keys disclosed")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

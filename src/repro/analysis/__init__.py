@@ -1,0 +1,41 @@
+"""Analysis: section-8 closed forms, distribution breakdowns, FPR tools."""
+
+from repro.analysis.distribution import (
+    BucketBreakdown,
+    breakdown_by_type,
+    classifier_quality,
+    slow_mode_share,
+)
+from repro.analysis.fpr import FprMeasurement, leaf_depth_distribution, measure_random_fpr
+from repro.analysis.theory import (
+    PbfAttackAnalysis,
+    RangeAttackAnalysis,
+    analyze_range_attack,
+    expected_internal_nodes_by_depth,
+    SurfAttackAnalysis,
+    analyze_pbf_attack,
+    analyze_surf_attack,
+    expected_leaves_by_depth,
+    lcp_at_least,
+    paper_scale_summary,
+)
+
+__all__ = [
+    "BucketBreakdown",
+    "FprMeasurement",
+    "PbfAttackAnalysis",
+    "RangeAttackAnalysis",
+    "analyze_range_attack",
+    "expected_internal_nodes_by_depth",
+    "SurfAttackAnalysis",
+    "analyze_pbf_attack",
+    "analyze_surf_attack",
+    "breakdown_by_type",
+    "classifier_quality",
+    "expected_leaves_by_depth",
+    "lcp_at_least",
+    "leaf_depth_distribution",
+    "measure_random_fpr",
+    "paper_scale_summary",
+    "slow_mode_share",
+]

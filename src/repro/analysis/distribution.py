@@ -1,0 +1,99 @@
+"""Response-time distribution analysis (paper Table 1 / Figure 2).
+
+Table 1 is the attacker's view: a histogram of raw response times.
+Figure 2 is the *analyst's* view: the same distribution broken down by
+ground-truth key type (negative vs false positive), which the paper uses
+to validate that the shape-derived cutoff separates the classes.  This
+module computes both from (sample, label) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.histogram import Histogram
+
+
+@dataclass(frozen=True)
+class BucketBreakdown:
+    """One Figure 2 bucket: counts by ground-truth class."""
+
+    label: str
+    low_us: float
+    negatives: int
+    false_positives: int
+
+    @property
+    def total(self) -> int:
+        """All keys in the bucket."""
+        return self.negatives + self.false_positives
+
+    @property
+    def fp_percent(self) -> float:
+        """Share of false positives within the bucket (Fig 2's light bars)."""
+        return 100.0 * self.false_positives / self.total if self.total else 0.0
+
+
+def breakdown_by_type(samples: Sequence[float], positives: Sequence[bool],
+                      bucket_width: float, overflow_at: float
+                      ) -> List[BucketBreakdown]:
+    """Per-bucket negative/false-positive counts (Figure 2)."""
+    if len(samples) != len(positives):
+        raise ConfigError("samples and labels must align")
+    negative_hist = Histogram(bucket_width, overflow_at)
+    positive_hist = Histogram(bucket_width, overflow_at)
+    for sample, positive in zip(samples, positives):
+        (positive_hist if positive else negative_hist).add(sample)
+    out: List[BucketBreakdown] = []
+    for neg_bucket, pos_bucket in zip(negative_hist.buckets(),
+                                      positive_hist.buckets()):
+        if neg_bucket.high == float("inf"):
+            label = f">= {neg_bucket.low:g}"
+        elif neg_bucket.low == 0:
+            label = f"< {neg_bucket.high:g}"
+        else:
+            label = f"{neg_bucket.low:g} - {neg_bucket.high:g}"
+        out.append(BucketBreakdown(
+            label=label, low_us=neg_bucket.low,
+            negatives=neg_bucket.count,
+            false_positives=pos_bucket.count,
+        ))
+    return out
+
+
+def classifier_quality(samples: Sequence[float], positives: Sequence[bool],
+                       cutoff_us: float) -> Dict[str, float]:
+    """Confusion summary of the timing classifier at a cutoff.
+
+    Used by the cutoff-sensitivity ablation: true/false positive rates of
+    "slow means filter-positive".
+    """
+    if len(samples) != len(positives):
+        raise ConfigError("samples and labels must align")
+    tp = fp = tn = fn = 0
+    for sample, positive in zip(samples, positives):
+        slow = sample >= cutoff_us
+        if positive and slow:
+            tp += 1
+        elif positive:
+            fn += 1
+        elif slow:
+            fp += 1
+        else:
+            tn += 1
+    total_pos = tp + fn
+    total_neg = fp + tn
+    return {
+        "true_positive_rate": tp / total_pos if total_pos else 0.0,
+        "false_positive_rate": fp / total_neg if total_neg else 0.0,
+        "accuracy": (tp + tn) / max(1, len(samples)),
+    }
+
+
+def slow_mode_share(samples: Sequence[float], cutoff_us: float) -> float:
+    """Fraction of samples at or above the cutoff (the slow mode's mass)."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s >= cutoff_us) / len(samples)

@@ -1,0 +1,24 @@
+"""Benchmark harness: experiment runners and report formatting."""
+
+from repro.bench.harness import (
+    TimedRun,
+    correctness,
+    run_idealized_attack,
+    run_timing_attack,
+    surf_environment,
+    surf_strategy,
+)
+from repro.bench.report import ExperimentReport, downsample, format_report, format_table
+
+__all__ = [
+    "ExperimentReport",
+    "TimedRun",
+    "correctness",
+    "downsample",
+    "format_report",
+    "format_table",
+    "run_idealized_attack",
+    "run_timing_attack",
+    "surf_environment",
+    "surf_strategy",
+]

@@ -1,0 +1,54 @@
+"""One module per reproduced table/figure plus ablations (see DESIGN.md)."""
+
+from repro.bench.experiments import (
+    exp_ablation_backend,
+    exp_ablation_compaction,
+    exp_ablation_cutoff,
+    exp_ablation_margin,
+    exp_bruteforce,
+    exp_detector,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fine_timing,
+    exp_mitigation,
+    exp_network,
+    exp_range_attack,
+    exp_ratelimit,
+    exp_skew,
+    exp_table1,
+    exp_table2,
+    exp_theory,
+)
+
+#: Registry used by the CLI: name -> module (each exposes ``run``).
+ALL_EXPERIMENTS = {
+    "table1": exp_table1,
+    "fig2": exp_fig2,
+    "fig3": exp_fig3,
+    "table2": exp_table2,
+    "bruteforce": exp_bruteforce,
+    "fig4": exp_fig4,
+    "fig5": exp_fig5,
+    "fig6": exp_fig6,
+    "fig7": exp_fig7,
+    "fig8": exp_fig8,
+    "theory": exp_theory,
+    "mitigation": exp_mitigation,
+    "ablation-backend": exp_ablation_backend,
+    "ablation-cutoff": exp_ablation_cutoff,
+    "ablation-margin": exp_ablation_margin,
+    "ablation-compaction": exp_ablation_compaction,
+    "range-attack": exp_range_attack,
+    "ratelimit": exp_ratelimit,
+    "network": exp_network,
+    "skew": exp_skew,
+    "fine-timing": exp_fine_timing,
+    "detector": exp_detector,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

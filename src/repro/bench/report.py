@@ -1,0 +1,90 @@
+"""Experiment reports: the uniform output format of every bench.
+
+Each table/figure of the paper has an experiment module producing an
+:class:`ExperimentReport` — the paper's claim, the reproduction's scale
+note, the measured rows/series, and a summary — which the benchmarks print
+and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced table or figure."""
+
+    experiment: str
+    title: str
+    paper_claim: str
+    scale_note: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1e6 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Align a list of dict rows into a text table."""
+    if not rows:
+        return "  (no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = [
+        "  " + "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  " + "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for r in rendered:
+        lines.append("  " + "  ".join(r[i].ljust(widths[i])
+                                      for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def downsample(series: Sequence[Tuple[float, float]], max_points: int = 12
+               ) -> List[Tuple[float, float]]:
+    """Thin a progress curve to at most ``max_points`` (keeps endpoints)."""
+    if len(series) <= max_points:
+        return list(series)
+    step = (len(series) - 1) / (max_points - 1)
+    indices = sorted({round(i * step) for i in range(max_points)})
+    return [series[i] for i in indices]
+
+
+def format_report(report: ExperimentReport) -> str:
+    """Render a report for terminal output and EXPERIMENTS.md."""
+    lines = [
+        f"== {report.experiment}: {report.title} ==",
+        f"paper   : {report.paper_claim}",
+        f"scale   : {report.scale_note}",
+    ]
+    if report.rows:
+        lines.append(format_table(report.rows))
+    for name, points in report.series.items():
+        thin = downsample(points)
+        rendered = ", ".join(f"({_format_cell(x)}, {_format_cell(y)})"
+                             for x, y in thin)
+        lines.append(f"  series {name}: {rendered}")
+    if report.summary:
+        for key, value in report.summary.items():
+            lines.append(f"  {key}: {_format_cell(value)}")
+    return "\n".join(lines)

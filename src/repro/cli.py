@@ -1,0 +1,158 @@
+"""Command-line entry point: run experiments or a custom attack demo.
+
+Usage::
+
+    prefix-siphoning list
+    prefix-siphoning run table1 fig3
+    prefix-siphoning run all
+    prefix-siphoning demo --keys 20000 --filter surf-real --candidates 30000
+    prefix-siphoning demo --filter rosetta --attack range
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import format_report
+
+#: Filter configurations the demo can build.
+DEMO_FILTERS = ("surf-real", "surf-base", "surf-hash", "pbf", "bloom",
+                "rosetta", "split")
+
+
+def _cmd_list() -> int:
+    print("available experiments:")
+    for name, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<18} {doc}")
+    return 0
+
+
+def _cmd_run(names: List[str]) -> int:
+    if names == ["all"]:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("run 'prefix-siphoning list' to see choices", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.perf_counter()
+        report = ALL_EXPERIMENTS[name].run()
+        elapsed = time.perf_counter() - started
+        print(format_report(report))
+        print(f"  (ran in {elapsed:.1f}s)\n")
+    return 0
+
+
+def _make_filter_builder(name: str, key_width: int):
+    from repro.filters import (BloomFilterBuilder, PrefixBloomFilterBuilder,
+                               RosettaFilterBuilder, SplitFilterBuilder,
+                               SuRFBuilder)
+    if name.startswith("surf-"):
+        return SuRFBuilder(variant=name.split("-", 1)[1], suffix_bits=8)
+    if name == "pbf":
+        return PrefixBloomFilterBuilder(prefix_len=max(1, key_width - 2))
+    if name == "bloom":
+        return BloomFilterBuilder(10.0)
+    if name == "rosetta":
+        return RosettaFilterBuilder(key_bytes=key_width,
+                                    bits_per_key_per_level=8.0)
+    return SplitFilterBuilder()
+
+
+def _cmd_demo(args) -> int:
+    from repro.core import (AttackConfig, IdealizedOracle,
+                            PrefixSiphoningAttack, SurfAttackStrategy,
+                            expected_bruteforce_queries_per_key)
+    from repro.core.range_attack import (IdealizedRangeOracle,
+                                         RangeAttackConfig,
+                                         RangeDescentAttack)
+    from repro.filters.surf import SuffixScheme, SurfVariant
+    from repro.workloads import ATTACKER_USER, DatasetConfig, build_environment
+
+    print(f"building: {args.keys:,} keys of {args.width} bytes behind "
+          f"{args.filter} ...")
+    env = build_environment(DatasetConfig(
+        num_keys=args.keys, key_width=args.width, seed=args.seed,
+        filter_builder=_make_filter_builder(args.filter, args.width)))
+
+    if args.attack == "range":
+        verify = "none" if args.filter in ("split", "pbf", "bloom") else "point"
+        result = RangeDescentAttack(
+            IdealizedRangeOracle(env.service, ATTACKER_USER),
+            RangeAttackConfig(key_width=args.width, max_keys=args.target_keys,
+                              max_queries=args.candidates * 100,
+                              verify_mode=verify, seed=args.seed)).run()
+        keys, total = result.keys, result.total_queries
+    else:
+        variant = (SurfVariant(args.filter.split("-", 1)[1])
+                   if args.filter.startswith("surf-") else SurfVariant.BASE)
+        suffix_bits = 0 if variant is SurfVariant.BASE else 8
+        strategy = SurfAttackStrategy(
+            args.width, SuffixScheme(variant, suffix_bits),
+            mode="truncate", seed=args.seed)
+        attack = PrefixSiphoningAttack(
+            IdealizedOracle(env.service, ATTACKER_USER), strategy,
+            AttackConfig(key_width=args.width,
+                         num_candidates=args.candidates))
+        result = attack.run()
+        keys = [e.key for e in result.extracted]
+        total = result.total_queries
+
+    verified = sum(1 for k in keys if k in env.key_set)
+    print(f"extracted {len(keys)} keys ({verified} verified) with "
+          f"{total:,} queries")
+    for key in keys[:8]:
+        print(f"  {key.hex()}")
+    brute = expected_bruteforce_queries_per_key(args.width, args.keys)
+    if keys:
+        print(f"{total / len(keys):,.0f} queries/key vs {brute:,.0f} "
+              f"expected for brute force")
+    else:
+        print(f"(the {args.filter} configuration resisted this attack)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="prefix-siphoning",
+        description=("Reproduction of 'Prefix Siphoning: Exploiting LSM-Tree "
+                     "Range Filters For Information Disclosure' (USENIX "
+                     "Security 2023)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiments")
+    run_parser = sub.add_parser("run", help="run experiments by name")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment names, or 'all'")
+    demo = sub.add_parser("demo",
+                          help="attack a freshly built store interactively")
+    demo.add_argument("--keys", type=int, default=20_000,
+                      help="stored secret keys (default 20000)")
+    demo.add_argument("--width", type=int, default=5,
+                      help="key width in bytes (default 5)")
+    demo.add_argument("--filter", choices=DEMO_FILTERS, default="surf-real",
+                      help="filter protecting the store")
+    demo.add_argument("--attack", choices=("point", "range"),
+                      default="point", help="attack family")
+    demo.add_argument("--candidates", type=int, default=20_000,
+                      help="FindFPK candidates / range budget scale")
+    demo.add_argument("--target-keys", type=int, default=15,
+                      help="range attack: stop after this many keys")
+    demo.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    return _cmd_run(args.names)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration parameters."""
+
+
+class StorageError(ReproError):
+    """Failure in the simulated storage layer."""
+
+
+class FileNotFoundInStoreError(StorageError):
+    """A simulated file path does not exist on the device."""
+
+
+class ReadOutOfBoundsError(StorageError):
+    """A read extends past the end of a simulated file."""
+
+
+class CorruptionError(ReproError):
+    """On-disk structure failed validation (bad magic, checksum, bounds)."""
+
+
+class FilterError(ReproError):
+    """Failure in a filter implementation."""
+
+
+class ImmutableFilterError(FilterError):
+    """Attempt to mutate an immutable (build-once) filter."""
+
+
+class LSMError(ReproError):
+    """Failure in the LSM-tree engine."""
+
+
+class DBClosedError(LSMError):
+    """Operation attempted on a closed database."""
+
+
+class CompactionError(LSMError):
+    """Compaction produced an inconsistent state."""
+
+
+class ServiceError(ReproError):
+    """Failure in the high-level ACL-checking service."""
+
+
+class AttackError(ReproError):
+    """Failure in the attack framework."""
+
+
+class LearningError(AttackError):
+    """The learning phase could not derive a usable cutoff."""

@@ -1,0 +1,144 @@
+"""Key codecs and prefix arithmetic.
+
+The paper treats keys as sequences of symbols over an alphabet (bytes in all
+experiments).  This module centralizes conversions between integer key ids,
+fixed-width big-endian byte keys, and prefix manipulation, so the rest of the
+library never hand-rolls byte twiddling.
+
+Keys compare lexicographically as ``bytes``; encoding integers big-endian
+preserves numeric order, which the LSM-tree and the SuRF trie both rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, List
+
+from repro.common.errors import ConfigError
+
+#: Number of distinct byte symbols; the alphabet size |Sigma| of the paper.
+ALPHABET_SIZE = 256
+
+
+def int_to_key(value: int, width: int) -> bytes:
+    """Encode ``value`` as a big-endian key of ``width`` bytes.
+
+    Raises :class:`ConfigError` if the value does not fit.
+    """
+    if width <= 0:
+        raise ConfigError(f"key width must be positive, got {width}")
+    if value < 0:
+        raise ConfigError(f"key value must be non-negative, got {value}")
+    try:
+        return value.to_bytes(width, "big")
+    except OverflowError as exc:
+        raise ConfigError(f"value {value:#x} does not fit in {width} bytes") from exc
+
+
+def key_to_int(key: bytes) -> int:
+    """Decode a big-endian byte key back to its integer value."""
+    return int.from_bytes(key, "big")
+
+
+def sha1_key(index: int, width: int, namespace: bytes = b"") -> bytes:
+    """Derive a pseudo-random key of ``width`` bytes from an index.
+
+    Mirrors the paper's dataset construction ("uniformly random keys,
+    generated using SHA1", section 10.1): the i-th key is the first ``width``
+    bytes of SHA1(namespace || i).
+    """
+    digest = hashlib.sha1(namespace + index.to_bytes(8, "big")).digest()
+    if width > len(digest):
+        # Extend by chaining for unusually wide keys.
+        out = bytearray(digest)
+        counter = 0
+        while len(out) < width:
+            out.extend(hashlib.sha1(bytes(out[-20:]) + bytes([counter & 0xFF])).digest())
+            counter += 1
+        return bytes(out[:width])
+    return digest[:width]
+
+
+def common_prefix_len(a: bytes, b: bytes) -> int:
+    """Length in bytes of the longest common prefix of ``a`` and ``b``."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def longest_shared_prefix(key: bytes, dataset_neighbors: Iterable[bytes]) -> bytes:
+    """The longest prefix ``key`` shares with any key in ``dataset_neighbors``."""
+    best = 0
+    for other in dataset_neighbors:
+        best = max(best, common_prefix_len(key, other))
+    return key[:best]
+
+
+def replace_byte(key: bytes, index: int, new_value: int) -> bytes:
+    """Return ``key`` with the byte at ``index`` replaced by ``new_value``."""
+    if not 0 <= index < len(key):
+        raise ConfigError(f"byte index {index} out of range for key of length {len(key)}")
+    if not 0 <= new_value < ALPHABET_SIZE:
+        raise ConfigError(f"byte value must be in [0,255], got {new_value}")
+    mutated = bytearray(key)
+    mutated[index] = new_value
+    return bytes(mutated)
+
+
+def all_prefixes(key: bytes) -> Iterator[bytes]:
+    """Yield every proper-and-improper prefix of ``key``, shortest first.
+
+    Includes the empty prefix and the full key.
+    """
+    for i in range(len(key) + 1):
+        yield key[:i]
+
+
+def suffix_candidates(prefix: bytes, total_len: int) -> Iterator[bytes]:
+    """Enumerate all keys of length ``total_len`` that start with ``prefix``.
+
+    This is the step-3 ("extend prefix to full key") search space of the
+    attack; callers are expected to check its size with
+    :func:`suffix_space_size` before iterating.
+    """
+    remaining = total_len - len(prefix)
+    if remaining < 0:
+        raise ConfigError(
+            f"prefix of length {len(prefix)} longer than total key length {total_len}"
+        )
+    if remaining == 0:
+        yield prefix
+        return
+    for value in range(ALPHABET_SIZE**remaining):
+        yield prefix + value.to_bytes(remaining, "big")
+
+
+def suffix_space_size(prefix_len: int, total_len: int) -> int:
+    """Number of keys of length ``total_len`` sharing a ``prefix_len`` prefix."""
+    if prefix_len > total_len:
+        raise ConfigError(f"prefix length {prefix_len} exceeds key length {total_len}")
+    return ALPHABET_SIZE ** (total_len - prefix_len)
+
+
+def increment_key(key: bytes) -> bytes:
+    """Smallest key of the same length strictly greater than ``key``.
+
+    Raises :class:`ConfigError` when ``key`` is already the maximum key of its
+    length (all ``0xFF`` bytes).
+    """
+    value = key_to_int(key) + 1
+    if value >= ALPHABET_SIZE ** len(key):
+        raise ConfigError("cannot increment the maximum key")
+    return int_to_key(value, len(key))
+
+
+def format_key(key: bytes) -> str:
+    """Human-readable hex rendering used in logs and reports."""
+    return key.hex()
+
+
+def sorted_unique(keys: Iterable[bytes]) -> List[bytes]:
+    """Sort keys lexicographically and drop duplicates (builder input shape)."""
+    return sorted(set(keys))

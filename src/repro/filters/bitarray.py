@@ -1,0 +1,70 @@
+"""Plain bit array used by Bloom filters and succinct bitvectors."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class BitArray:
+    """Fixed-size mutable array of bits backed by a ``bytearray``.
+
+    Bit ``i`` lives in byte ``i // 8`` at bit position ``i % 8`` (LSB
+    first).  The layout is part of the serialized SSTable filter format, so
+    it must stay stable.
+    """
+
+    __slots__ = ("_bits", "_buf")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 0:
+            raise ConfigError(f"bit array size must be non-negative, got {num_bits}")
+        self._bits = num_bits
+        self._buf = bytearray((num_bits + 7) // 8)
+
+    def __len__(self) -> int:
+        return self._bits
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        self._check(index)
+        self._buf[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        self._check(index)
+        self._buf[index >> 3] &= ~(1 << (index & 7))
+
+    def get(self, index: int) -> bool:
+        """Read bit ``index``."""
+        self._check(index)
+        return bool(self._buf[index >> 3] & (1 << (index & 7)))
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return sum(bin(b).count("1") for b in self._buf)
+
+    def memory_bits(self) -> int:
+        """Bits of storage used (capacity, not population)."""
+        return 8 * len(self._buf)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the raw bit payload."""
+        return bytes(self._buf)
+
+    @classmethod
+    def from_bytes(cls, num_bits: int, payload: bytes) -> "BitArray":
+        """Rehydrate from :meth:`to_bytes` output."""
+        if len(payload) != (num_bits + 7) // 8:
+            raise ConfigError(
+                f"payload of {len(payload)} bytes does not match {num_bits} bits"
+            )
+        out = cls(num_bits)
+        out._buf[:] = payload
+        return out
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._bits:
+            raise ConfigError(f"bit index {index} out of range [0, {self._bits})")

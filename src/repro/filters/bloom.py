@@ -1,0 +1,112 @@
+"""Standard Bloom filter (the RocksDB default point filter).
+
+Included both as the baseline non-range filter — against which prefix
+siphoning does *not* apply, because a Bloom positive shares no structure
+with stored keys — and as the building block of the prefix Bloom filter
+and Rosetta.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.filters.base import Filter, FilterBuilder
+from repro.filters.bitarray import BitArray
+from repro.filters.hashing import probe_indices
+
+
+def optimal_num_probes(bits_per_key: float) -> int:
+    """FPR-minimizing probe count k = ln(2) * bits/key, at least 1."""
+    return max(1, round(math.log(2) * bits_per_key))
+
+
+def theoretical_fpr(bits_per_key: float, num_probes: Optional[int] = None) -> float:
+    """Classic Bloom FPR approximation (1 - e^{-k/(m/n)})^k."""
+    if bits_per_key <= 0:
+        return 1.0
+    k = num_probes or optimal_num_probes(bits_per_key)
+    return (1.0 - math.exp(-k / bits_per_key)) ** k
+
+
+class BloomFilter(Filter):
+    """Dynamic Bloom filter with double hashing.
+
+    ``num_bits`` is rounded up to at least 64 so tiny SSTables still get a
+    functional filter.
+    """
+
+    name = "bloom"
+
+    def __init__(self, num_bits: int, num_probes: int) -> None:
+        super().__init__()
+        if num_probes <= 0:
+            raise ConfigError(f"num_probes must be positive, got {num_probes}")
+        self._bits = BitArray(max(64, num_bits))
+        self.num_probes = num_probes
+        self.num_entries = 0
+
+    @classmethod
+    def for_entries(cls, expected_entries: int, bits_per_key: float) -> "BloomFilter":
+        """Size a filter for ``expected_entries`` at ``bits_per_key``."""
+        if expected_entries < 0:
+            raise ConfigError("expected_entries must be non-negative")
+        if bits_per_key <= 0:
+            raise ConfigError(f"bits_per_key must be positive, got {bits_per_key}")
+        num_bits = int(expected_entries * bits_per_key) or 64
+        return cls(num_bits, optimal_num_probes(bits_per_key))
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key``."""
+        for index in probe_indices(key, self.num_probes, len(self._bits)):
+            self._bits.set(index)
+        self.num_entries += 1
+
+    def _may_contain(self, key: bytes) -> bool:
+        return all(
+            self._bits.get(index)
+            for index in probe_indices(key, self.num_probes, len(self._bits))
+        )
+
+    def memory_bits(self) -> int:
+        """Size of the bit array."""
+        return self._bits.memory_bits()
+
+    @property
+    def bit_array(self) -> BitArray:
+        """The underlying bit array (serialization support)."""
+        return self._bits
+
+    def restore_bits(self, bits: BitArray, num_entries: int) -> None:
+        """Replace the bit payload (filter-block deserialization)."""
+        if len(bits) != len(self._bits):
+            raise ConfigError(
+                f"bit payload of {len(bits)} bits does not match the "
+                f"filter's {len(self._bits)}"
+            )
+        self._bits = bits
+        self.num_entries = num_entries
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits — sanity metric for sizing tests."""
+        return self._bits.count() / len(self._bits)
+
+
+class BloomFilterBuilder(FilterBuilder):
+    """Builds one Bloom filter per SSTable at a fixed bits/key budget."""
+
+    def __init__(self, bits_per_key: float = 10.0) -> None:
+        if bits_per_key <= 0:
+            raise ConfigError(f"bits_per_key must be positive, got {bits_per_key}")
+        self.bits_per_key = bits_per_key
+
+    @property
+    def name(self) -> str:
+        return f"bloom({self.bits_per_key:g}b/key)"
+
+    def build(self, sorted_keys: Sequence[bytes]) -> BloomFilter:
+        filt = BloomFilter.for_entries(len(sorted_keys), self.bits_per_key)
+        for key in sorted_keys:
+            filt.add(key)
+        return filt

@@ -1,0 +1,67 @@
+"""Deterministic hash functions for filters.
+
+Python's builtin ``hash()`` is salted per process, which would make filter
+contents (and therefore attack transcripts) irreproducible; every filter in
+this library hashes through the functions here instead.
+
+``fnv1a_64`` is the workhorse.  Bloom filters use Kirsch-Mitzenmacher
+double hashing (two independent 64-bit hashes combined as ``h1 + i*h2``),
+the standard construction RocksDB-style Bloom filters use to avoid k
+independent hash computations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64_init(seed: int = 0) -> int:
+    """Initial FNV-1a state for incremental hashing."""
+    return (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+
+
+def fnv1a_64_update(state: int, data: bytes) -> int:
+    """Fold ``data`` into an FNV-1a state (enables prefix caching)."""
+    for byte in data:
+        state = ((state ^ byte) * _FNV_PRIME) & _MASK64
+    return state
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``, tweakable by ``seed``."""
+    return fnv1a_64_update(fnv1a_64_init(seed), data)
+
+
+def double_hashes(data: bytes) -> Tuple[int, int]:
+    """Two independent 64-bit hashes for double hashing.
+
+    The second hash is forced odd so that successive probe indices
+    ``(h1 + i*h2) % m`` cycle through distinct residues for power-of-two m.
+    """
+    h1 = fnv1a_64(data, seed=0)
+    h2 = fnv1a_64(data, seed=1) | 1
+    return h1, h2
+
+
+def probe_indices(data: bytes, num_probes: int, num_bits: int):
+    """Yield the ``num_probes`` Bloom probe positions for ``data``."""
+    h1, h2 = double_hashes(data)
+    for i in range(num_probes):
+        yield (h1 + i * h2) % num_bits
+
+
+#: Seed of the SuRF-Hash suffix hash — public knowledge per the paper's
+#: attack assumption ("the hash function's purpose is to reduce the FPR and
+#: not for security"), which the attacker's step-3 pruning relies on.
+SUFFIX_HASH_SEED = 7
+
+
+def suffix_hash_bits(key: bytes, num_bits: int) -> int:
+    """The ``num_bits``-bit hash value SuRF-Hash stores per key (section 6.1)."""
+    if num_bits == 0:
+        return 0
+    return fnv1a_64(key, seed=SUFFIX_HASH_SEED) & ((1 << num_bits) - 1)

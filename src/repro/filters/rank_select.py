@@ -1,0 +1,132 @@
+"""Succinct bitvector with O(1) rank and sampled select.
+
+LOUDS-encoded tries (the SuRF backend in
+:mod:`repro.filters.surf.louds`) navigate exclusively through ``rank1``
+and ``select1`` queries over their structural bitmaps; this module provides
+those operations with the standard two-level acceleration: cumulative
+popcounts per 64-bit word for rank, and a position sample every
+``SELECT_SAMPLE`` ones for select.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.common.errors import ConfigError
+
+_WORD_BITS = 64
+#: One select sample is kept per this many set bits.
+SELECT_SAMPLE = 64
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+class BitVector:
+    """Immutable bitvector supporting rank/select.
+
+    Built once from an iterable of booleans; construction precomputes the
+    rank directory.  ``rank1(i)`` counts set bits in ``[0, i)`` and
+    ``select1(r)`` returns the position of the r-th set bit (r >= 1).
+    """
+
+    def __init__(self, bits: Iterable[bool]) -> None:
+        words: List[int] = []
+        length = 0
+        current = 0
+        for bit in bits:
+            if bit:
+                current |= 1 << (length % _WORD_BITS)
+            length += 1
+            if length % _WORD_BITS == 0:
+                words.append(current)
+                current = 0
+        if length % _WORD_BITS:
+            words.append(current)
+        self._words = words
+        self._length = length
+        # Cumulative set-bit count *before* each word.
+        self._rank_dir: List[int] = [0] * (len(words) + 1)
+        for i, word in enumerate(words):
+            self._rank_dir[i + 1] = self._rank_dir[i] + _popcount(word)
+        self._ones = self._rank_dir[-1]
+        # Sampled select: position of the (SELECT_SAMPLE*j + 1)-th one.
+        self._select_samples: List[int] = []
+        seen = 0
+        for pos in self._iter_ones():
+            if seen % SELECT_SAMPLE == 0:
+                self._select_samples.append(pos)
+            seen += 1
+
+    def _iter_ones(self):
+        for wi, word in enumerate(self._words):
+            base = wi * _WORD_BITS
+            while word:
+                low = word & -word
+                yield base + low.bit_length() - 1
+                word ^= low
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._ones
+
+    def get(self, index: int) -> bool:
+        """Bit at ``index``."""
+        if not 0 <= index < self._length:
+            raise ConfigError(f"bit index {index} out of range [0, {self._length})")
+        return bool(self._words[index >> 6] >> (index & 63) & 1)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def rank1(self, index: int) -> int:
+        """Number of set bits in ``[0, index)``; ``index`` may equal len."""
+        if not 0 <= index <= self._length:
+            raise ConfigError(f"rank index {index} out of range [0, {self._length}]")
+        word_index, offset = index >> 6, index & 63
+        count = self._rank_dir[word_index]
+        if offset:
+            mask = (1 << offset) - 1
+            count += _popcount(self._words[word_index] & mask)
+        return count
+
+    def rank0(self, index: int) -> int:
+        """Number of clear bits in ``[0, index)``."""
+        return index - self.rank1(index)
+
+    def select1(self, rank: int) -> int:
+        """Position of the ``rank``-th set bit (1-indexed)."""
+        if not 1 <= rank <= self._ones:
+            raise ConfigError(f"select rank {rank} out of range [1, {self._ones}]")
+        # Start from the nearest sample at or before the target, then scan
+        # forward one set bit at a time.
+        sample_index = (rank - 1) // SELECT_SAMPLE
+        pos = self._select_samples[sample_index]
+        remaining = rank - (sample_index * SELECT_SAMPLE + 1)
+        if remaining == 0:
+            return pos
+        word_index = pos >> 6
+        # Mask off the sampled one and everything before it in its word.
+        word = self._words[word_index] & ~((1 << ((pos & 63) + 1)) - 1)
+        while True:
+            while word:
+                low = word & -word
+                word ^= low
+                remaining -= 1
+                if remaining == 0:
+                    return (word_index << 6) + low.bit_length() - 1
+            word_index += 1
+            word = self._words[word_index]
+
+    def memory_bits(self) -> int:
+        """Approximate storage: payload + rank directory + select samples."""
+        return (
+            len(self._words) * _WORD_BITS
+            + len(self._rank_dir) * 32
+            + len(self._select_samples) * 32
+        )

@@ -1,0 +1,373 @@
+"""Succinct LOUDS-DENSE/SPARSE encoding of the pruned trie.
+
+This backend reproduces the memory layout of the original SuRF (Zhang et
+al., SIGMOD 2018) that the paper's attacks target:
+
+* **LOUDS-Dense** (upper levels, optimized for speed): per node, a 256-bit
+  label bitmap ``D-Labels``, a 256-bit ``D-HasChild`` bitmap marking which
+  edges lead to internal nodes, and one ``D-IsPrefixKey`` bit.
+* **LOUDS-Sparse** (lower levels, optimized for space): a byte array
+  ``S-Labels``, a bitvector ``S-HasChild``, and ``S-LOUDS`` marking the
+  first label of each node.  (The original encodes prefix keys with a
+  0xFF terminator label, which mis-answers keys genuinely containing 0xFF
+  at branch points; we store an explicit per-node ``S-IsPrefixKey``
+  bitvector instead — same asymptotics, exact semantics.)
+
+Nodes are numbered in level order; child pointers are *computed* with
+rank/select over the structural bitmaps rather than stored.  Suffix
+payloads live in four value arrays (dense/sparse x leaf/prefix-key),
+indexed by the same rank expressions the queries use.
+
+The backend implements the cursor protocol of
+:mod:`repro.filters.surf.cursor`; property tests assert it agrees with the
+reference dict-trie backend on every query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.filters.rank_select import BitVector
+from repro.filters.surf.cursor import Terminal, TerminalKind
+from repro.filters.surf.suffix import SuffixScheme
+from repro.filters.surf.trie import TrieBackend, TrieNode, build_pruned_trie
+
+#: Bits one dense node costs: two 256-bit bitmaps + the prefix-key bit.
+_DENSE_NODE_BITS = 2 * 256 + 1
+#: Bits one sparse label costs: 8-bit label + HasChild + LOUDS bits.
+_SPARSE_LABEL_BITS = 10
+#: Default dense-vs-sparse size ratio cutoff (SuRF's R parameter).
+DEFAULT_DENSE_RATIO = 16
+
+# Cursor node-reference kinds.
+_DENSE_NODE = 0
+_SPARSE_NODE = 1
+_DENSE_LEAF = 2
+_SPARSE_LEAF = 3
+_ROOT_ONLY = 4
+
+
+def choose_dense_levels(level_nodes: Sequence[int], level_labels: Sequence[int],
+                        ratio: int = DEFAULT_DENSE_RATIO) -> int:
+    """Pick how many top levels to encode densely.
+
+    Grows the dense region while its cumulative bitmap cost stays within
+    ``ratio`` times cheaper than... precisely: while adding the next level
+    keeps ``dense_bits * ratio <= total_sparse_bits_of_those_levels_saved``
+    in SuRF's spirit — the dense encoding of a level pays off when the
+    level is densely branching.  Concretely we include level ``l`` while
+    the dense cost of levels ``0..l`` is at most ``ratio`` times their
+    sparse cost, which includes the root for any non-degenerate trie and
+    stops as soon as branching thins out.
+    """
+    dense_bits = 0
+    sparse_bits = 0
+    chosen = 0
+    for nodes, labels in zip(level_nodes, level_labels):
+        dense_bits += nodes * _DENSE_NODE_BITS
+        sparse_bits += labels * _SPARSE_LABEL_BITS
+        if dense_bits <= ratio * sparse_bits:
+            chosen += 1
+        else:
+            break
+    return chosen
+
+
+class LoudsBackend:
+    """Succinct SuRF backend (cursor protocol)."""
+
+    backend_name = "louds"
+
+    def __init__(self, trie_root: TrieNode,
+                 num_dense_levels: Optional[int] = None,
+                 dense_ratio: int = DEFAULT_DENSE_RATIO) -> None:
+        self._build(trie_root, num_dense_levels, dense_ratio)
+
+    @classmethod
+    def build(cls, sorted_keys: Sequence[bytes], scheme: SuffixScheme,
+              num_dense_levels: Optional[int] = None) -> "LoudsBackend":
+        """Build directly from sorted unique keys."""
+        return cls(build_pruned_trie(sorted_keys, scheme),
+                   num_dense_levels=num_dense_levels)
+
+    @classmethod
+    def from_trie(cls, trie: TrieBackend,
+                  num_dense_levels: Optional[int] = None) -> "LoudsBackend":
+        """Encode an existing reference backend's trie."""
+        return cls(trie.root(), num_dense_levels=num_dense_levels)
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self, root: TrieNode, num_dense_levels: Optional[int],
+               dense_ratio: int) -> None:
+        self._root_terminal: Optional[Terminal] = None
+        if not root.children:
+            # Degenerate tries (empty, or a lone empty-key terminal) have no
+            # internal nodes to encode; serve them from a sentinel root.
+            self._root_terminal = root.terminal
+            self._num_dense = 0
+            self._empty = True
+            self._init_empty_structures()
+            return
+        self._empty = False
+
+        # BFS over internal nodes, tracking levels.
+        levels: List[List[TrieNode]] = []
+        frontier = [root]
+        while frontier:
+            levels.append(frontier)
+            nxt: List[TrieNode] = []
+            for node in frontier:
+                for label in node.sorted_labels:
+                    child = node.children[label]
+                    if child.children:
+                        nxt.append(child)
+            frontier = nxt
+        level_nodes = [len(level) for level in levels]
+        level_labels = [sum(len(n.children) for n in level) for level in levels]
+        if num_dense_levels is None:
+            num_dense_levels = choose_dense_levels(level_nodes, level_labels,
+                                                   dense_ratio)
+        num_dense_levels = max(0, min(num_dense_levels, len(levels)))
+        self._num_dense = sum(level_nodes[:num_dense_levels])
+
+        d_labels_bits: List[bool] = []
+        d_haschild_bits: List[bool] = []
+        d_isprefix_bits: List[bool] = []
+        d_leaf_payloads: List[int] = []
+        d_prefix_payloads: List[int] = []
+        s_labels = bytearray()
+        s_haschild_bits: List[bool] = []
+        s_louds_bits: List[bool] = []
+        s_isprefix_bits: List[bool] = []
+        s_leaf_payloads: List[int] = []
+        s_prefix_payloads: List[int] = []
+
+        for level_index, level in enumerate(levels):
+            dense = level_index < num_dense_levels
+            for node in level:
+                term = node.terminal
+                is_prefix = term is not None and term.kind is TerminalKind.PREFIX_KEY
+                if dense:
+                    d_isprefix_bits.append(is_prefix)
+                    if is_prefix:
+                        d_prefix_payloads.append(term.payload)
+                    row_labels = [False] * 256
+                    row_haschild = [False] * 256
+                    for label in node.sorted_labels:
+                        child = node.children[label]
+                        row_labels[label] = True
+                        if child.children:
+                            row_haschild[label] = True
+                        else:
+                            d_leaf_payloads.append(child.terminal.payload)
+                    d_labels_bits.extend(row_labels)
+                    d_haschild_bits.extend(row_haschild)
+                else:
+                    s_isprefix_bits.append(is_prefix)
+                    if is_prefix:
+                        s_prefix_payloads.append(term.payload)
+                    first = True
+                    for label in node.sorted_labels:
+                        child = node.children[label]
+                        s_labels.append(label)
+                        s_louds_bits.append(first)
+                        first = False
+                        has_child = bool(child.children)
+                        s_haschild_bits.append(has_child)
+                        if not has_child:
+                            s_leaf_payloads.append(child.terminal.payload)
+
+        self._d_labels = BitVector(d_labels_bits)
+        self._d_haschild = BitVector(d_haschild_bits)
+        self._d_isprefix = BitVector(d_isprefix_bits)
+        self._d_leaf_payloads = d_leaf_payloads
+        self._d_prefix_payloads = d_prefix_payloads
+        self._s_labels = bytes(s_labels)
+        self._s_haschild = BitVector(s_haschild_bits)
+        self._s_louds = BitVector(s_louds_bits)
+        self._s_isprefix = BitVector(s_isprefix_bits)
+        self._s_leaf_payloads = s_leaf_payloads
+        self._s_prefix_payloads = s_prefix_payloads
+        self._num_sparse = len(s_isprefix_bits)
+        dense_internal_edges = self._d_haschild.ones
+        if self._num_dense == 0:
+            # Root itself is sparse node 0; sparse-edge children start at 1.
+            self._first_sparse_child = 1
+        else:
+            self._first_sparse_child = dense_internal_edges - (self._num_dense - 1)
+        # Precompute sparse node boundaries for fast label search.
+        self._s_node_start = [0] * self._num_sparse
+        for s in range(self._num_sparse):
+            self._s_node_start[s] = (
+                self._s_louds.select1(s + 1) if self._num_sparse else 0
+            )
+        self._s_node_start.append(len(self._s_labels))
+
+    def _init_empty_structures(self) -> None:
+        self._d_labels = BitVector([])
+        self._d_haschild = BitVector([])
+        self._d_isprefix = BitVector([])
+        self._d_leaf_payloads: List[int] = []
+        self._d_prefix_payloads: List[int] = []
+        self._s_labels = b""
+        self._s_haschild = BitVector([])
+        self._s_louds = BitVector([])
+        self._s_isprefix = BitVector([])
+        self._s_leaf_payloads: List[int] = []
+        self._s_prefix_payloads: List[int] = []
+        self._num_sparse = 0
+        self._first_sparse_child = 1
+        self._s_node_start = [0]
+
+    # ------------------------------------------------------------- cursor API
+
+    def root(self) -> Tuple[int, int]:
+        """Root node reference."""
+        if self._empty:
+            return (_ROOT_ONLY, 0)
+        if self._num_dense:
+            return (_DENSE_NODE, 0)
+        return (_SPARSE_NODE, 0)
+
+    def terminal(self, ref: Tuple[int, int]) -> Optional[Terminal]:
+        """Terminal record at ``ref``, or None."""
+        kind, index = ref
+        if kind == _DENSE_NODE:
+            if self._d_isprefix.get(index):
+                payload = self._d_prefix_payloads[
+                    self._d_isprefix.rank1(index + 1) - 1
+                ]
+                return Terminal(TerminalKind.PREFIX_KEY, payload)
+            return None
+        if kind == _SPARSE_NODE:
+            if self._s_isprefix.get(index):
+                payload = self._s_prefix_payloads[
+                    self._s_isprefix.rank1(index + 1) - 1
+                ]
+                return Terminal(TerminalKind.PREFIX_KEY, payload)
+            return None
+        if kind == _DENSE_LEAF:
+            ordinal = (
+                self._d_labels.rank1(index + 1)
+                - self._d_haschild.rank1(index + 1)
+                - 1
+            )
+            return Terminal(TerminalKind.LEAF, self._d_leaf_payloads[ordinal])
+        if kind == _SPARSE_LEAF:
+            ordinal = (index + 1) - self._s_haschild.rank1(index + 1) - 1
+            return Terminal(TerminalKind.LEAF, self._s_leaf_payloads[ordinal])
+        return self._root_terminal
+
+    def child(self, ref: Tuple[int, int], label: int) -> Optional[Tuple[int, int]]:
+        """Child of ``ref`` along ``label`` (may be a leaf reference)."""
+        kind, index = ref
+        if kind == _DENSE_NODE:
+            pos = (index << 8) | label
+            if not self._d_labels.get(pos):
+                return None
+            if not self._d_haschild.get(pos):
+                return (_DENSE_LEAF, pos)
+            return self._dense_child_ref(pos)
+        if kind == _SPARSE_NODE:
+            start = self._s_node_start[index]
+            end = self._s_node_start[index + 1]
+            pos = bisect_left(self._s_labels, label, start, end)
+            if pos == end or self._s_labels[pos] != label:
+                return None
+            if not self._s_haschild.get(pos):
+                return (_SPARSE_LEAF, pos)
+            return self._sparse_child_ref(pos)
+        return None
+
+    def has_children(self, ref: Tuple[int, int]) -> bool:
+        """Whether the reference denotes an internal node."""
+        return ref[0] in (_DENSE_NODE, _SPARSE_NODE)
+
+    def children_sorted(self, ref: Tuple[int, int]
+                        ) -> Iterator[Tuple[int, Tuple[int, int]]]:
+        """Children in ascending label order."""
+        nxt = self.first_child_geq(ref, 0)
+        while nxt is not None:
+            label, child_ref = nxt
+            yield label, child_ref
+            nxt = self.first_child_geq(ref, label + 1)
+
+    def first_child_geq(self, ref: Tuple[int, int], label: int
+                        ) -> Optional[Tuple[int, Tuple[int, int]]]:
+        """Smallest child with label >= ``label``, or None."""
+        if label > 255:
+            return None
+        kind, index = ref
+        if kind == _DENSE_NODE:
+            pos = (index << 8) | label
+            node_end = (index + 1) << 8
+            ones_before = self._d_labels.rank1(pos)
+            if ones_before >= self._d_labels.ones:
+                return None
+            nxt = self._d_labels.select1(ones_before + 1)
+            if nxt >= node_end:
+                return None
+            found_label = nxt & 0xFF
+            if not self._d_haschild.get(nxt):
+                return found_label, (_DENSE_LEAF, nxt)
+            return found_label, self._dense_child_ref(nxt)
+        if kind == _SPARSE_NODE:
+            start = self._s_node_start[index]
+            end = self._s_node_start[index + 1]
+            pos = bisect_left(self._s_labels, label, start, end)
+            if pos == end:
+                return None
+            found_label = self._s_labels[pos]
+            if not self._s_haschild.get(pos):
+                return found_label, (_SPARSE_LEAF, pos)
+            return found_label, self._sparse_child_ref(pos)
+        return None
+
+    # --------------------------------------------------------------- internals
+
+    def _dense_child_ref(self, pos: int) -> Tuple[int, int]:
+        child_global = self._d_haschild.rank1(pos + 1)
+        if child_global < self._num_dense:
+            return (_DENSE_NODE, child_global)
+        return (_SPARSE_NODE, child_global - self._num_dense)
+
+    def _sparse_child_ref(self, pos: int) -> Tuple[int, int]:
+        child = self._first_sparse_child + self._s_haschild.rank1(pos + 1) - 1
+        return (_SPARSE_NODE, child)
+
+    # ------------------------------------------------------------------ sizing
+
+    def memory_bits(self, suffix_bits: int) -> int:
+        """Measured size of the succinct structures and payload arrays."""
+        payloads = (
+            len(self._d_leaf_payloads)
+            + len(self._d_prefix_payloads)
+            + len(self._s_leaf_payloads)
+            + len(self._s_prefix_payloads)
+        )
+        return (
+            self._d_labels.memory_bits()
+            + self._d_haschild.memory_bits()
+            + self._d_isprefix.memory_bits()
+            + self._s_haschild.memory_bits()
+            + self._s_louds.memory_bits()
+            + self._s_isprefix.memory_bits()
+            + 8 * len(self._s_labels)
+            + suffix_bits * payloads
+        )
+
+    @property
+    def num_dense_nodes(self) -> int:
+        """Internal nodes encoded densely."""
+        return self._num_dense
+
+    @property
+    def num_sparse_nodes(self) -> int:
+        """Internal nodes encoded sparsely."""
+        return self._num_sparse
+
+    def __getstate__(self):
+        raise ConfigError("LoudsBackend is not picklable; rebuild from keys")

@@ -1,0 +1,82 @@
+"""Suffix-bit schemes of the SuRF variants (paper section 6.1, Figure 1).
+
+SuRF-Base stores nothing per leaf; SuRF-Hash stores ``n`` bits of a hash of
+the full key; SuRF-Real stores the first ``m`` bits of the key's suffix
+beyond the pruned prefix.  A point query that reaches a terminal compares
+the query's corresponding bits against the stored payload, trading a little
+memory for a big FPR reduction — and, as section 10.3.3 shows, handing the
+attacker longer effective prefixes in the SuRF-Real case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.filters.hashing import suffix_hash_bits
+
+
+class SurfVariant(enum.Enum):
+    """The three SuRF flavors of the paper."""
+
+    BASE = "base"
+    HASH = "hash"
+    REAL = "real"
+
+
+def real_suffix_bits(key: bytes, depth: int, num_bits: int) -> int:
+    """First ``num_bits`` bits of ``key[depth:]``, zero-padded on the right.
+
+    ``depth`` is the terminal's depth in bytes — the length of the pruned
+    prefix including the distinguishing byte.  Keys shorter than the probed
+    window contribute zero bits, which is exactly how a real bit-packed
+    suffix array reads past a short key's end.
+    """
+    if num_bits == 0:
+        return 0
+    num_bytes = (num_bits + 7) // 8
+    chunk = key[depth : depth + num_bytes]
+    chunk = chunk + b"\x00" * (num_bytes - len(chunk))
+    return int.from_bytes(chunk, "big") >> (8 * num_bytes - num_bits)
+
+
+@dataclass(frozen=True)
+class SuffixScheme:
+    """Computes and compares per-leaf suffix payloads for one variant."""
+
+    variant: SurfVariant
+    num_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.variant is SurfVariant.BASE:
+            if self.num_bits:
+                object.__setattr__(self, "num_bits", 0)
+        elif not 0 < self.num_bits <= 64:
+            raise ConfigError(
+                f"suffix bits must be in [1, 64] for {self.variant.value}, "
+                f"got {self.num_bits}"
+            )
+
+    def payload(self, full_key: bytes, depth: int) -> int:
+        """Payload stored at a terminal of ``depth`` for ``full_key``."""
+        if self.variant is SurfVariant.BASE:
+            return 0
+        if self.variant is SurfVariant.HASH:
+            return suffix_hash_bits(full_key, self.num_bits)
+        return real_suffix_bits(full_key, depth, self.num_bits)
+
+    def matches(self, query: bytes, depth: int, payload: int) -> bool:
+        """Whether a query reaching a terminal of ``depth`` passes."""
+        if self.variant is SurfVariant.BASE:
+            return True
+        if self.variant is SurfVariant.HASH:
+            return suffix_hash_bits(query, self.num_bits) == payload
+        return real_suffix_bits(query, depth, self.num_bits) == payload
+
+    @property
+    def label(self) -> str:
+        """Short label for filter names and bench tables."""
+        if self.variant is SurfVariant.BASE:
+            return "base"
+        return f"{self.variant.value}{self.num_bits}"

@@ -1,0 +1,96 @@
+"""Public SuRF facade: variants, backends, and the LSM filter builder."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.common.errors import ConfigError
+from repro.filters.base import FilterBuilder, RangeFilter
+from repro.filters.surf import cursor
+from repro.filters.surf.louds import LoudsBackend
+from repro.filters.surf.suffix import SuffixScheme, SurfVariant
+from repro.filters.surf.trie import TrieBackend
+
+
+class SuRF(RangeFilter):
+    """Succinct Range Filter (paper section 6.1).
+
+    Immutable: built once from the sorted keys of an SSTable.  The
+    ``backend`` argument selects the layout — ``"trie"`` (reference
+    dict-trie, fastest in pure Python; size reported as the equivalent
+    succinct estimate) or ``"louds"`` (actual LOUDS-DENSE/SPARSE succinct
+    encoding) — without changing a single query answer.
+    """
+
+    def __init__(self, backend, scheme: SuffixScheme, num_keys: int) -> None:
+        super().__init__()
+        self._backend = backend
+        self.scheme = scheme
+        self.num_keys = num_keys
+        self.name = f"surf-{scheme.label}[{backend.backend_name}]"
+
+    @classmethod
+    def build(cls, sorted_keys: Sequence[bytes],
+              variant: Union[SurfVariant, str] = SurfVariant.REAL,
+              suffix_bits: int = 8,
+              backend: str = "trie",
+              num_dense_levels: Optional[int] = None) -> "SuRF":
+        """Build a SuRF over sorted unique keys."""
+        if isinstance(variant, str):
+            variant = SurfVariant(variant)
+        scheme = SuffixScheme(variant, suffix_bits)
+        if backend == "trie":
+            built = TrieBackend.build(sorted_keys, scheme)
+        elif backend == "louds":
+            built = LoudsBackend.build(sorted_keys, scheme,
+                                       num_dense_levels=num_dense_levels)
+        else:
+            raise ConfigError(f"unknown SuRF backend {backend!r}")
+        return cls(built, scheme, len(sorted_keys))
+
+    @property
+    def variant(self) -> SurfVariant:
+        """Which SuRF variant this filter is."""
+        return self.scheme.variant
+
+    @property
+    def backend(self):
+        """The underlying cursor backend (tests, attack oracle)."""
+        return self._backend
+
+    def _may_contain(self, key: bytes) -> bool:
+        return cursor.lookup(self._backend, key, self.scheme)
+
+    def _may_contain_range(self, low: bytes, high: bytes) -> bool:
+        return cursor.may_contain_range(self._backend, low, high)
+
+    def memory_bits(self) -> int:
+        """Succinct size (measured for louds, estimated for trie)."""
+        return self._backend.memory_bits(self.scheme.num_bits)
+
+
+class SuRFBuilder(FilterBuilder):
+    """Builds one SuRF per SSTable — the paper's RocksDB+SuRF configuration."""
+
+    def __init__(self, variant: Union[SurfVariant, str] = SurfVariant.REAL,
+                 suffix_bits: int = 8, backend: str = "trie",
+                 num_dense_levels: Optional[int] = None) -> None:
+        if isinstance(variant, str):
+            variant = SurfVariant(variant)
+        # Validate eagerly so a bad configuration fails at setup time.
+        self._scheme = SuffixScheme(variant, suffix_bits)
+        self.variant = variant
+        self.suffix_bits = self._scheme.num_bits
+        self.backend = backend
+        self.num_dense_levels = num_dense_levels
+        if backend not in ("trie", "louds"):
+            raise ConfigError(f"unknown SuRF backend {backend!r}")
+
+    @property
+    def name(self) -> str:
+        return f"surf-{self._scheme.label}[{self.backend}]"
+
+    def build(self, sorted_keys: Sequence[bytes]) -> SuRF:
+        return SuRF.build(sorted_keys, variant=self.variant,
+                          suffix_bits=self.suffix_bits, backend=self.backend,
+                          num_dense_levels=self.num_dense_levels)

@@ -1,0 +1,189 @@
+"""Pruned-trie construction and the reference SuRF backend.
+
+SuRF's core structure (paper section 6.1) is a trie pruned to the minimum
+length prefixes that uniquely identify each key: the shared prefix plus one
+distinguishing byte.  This module builds that pruned trie from a sorted key
+list and exposes it through the *cursor* protocol
+(:mod:`repro.filters.surf.cursor`), which both this dict-based reference
+backend and the succinct LOUDS backend implement; the shared lookup and
+range-seek algorithms run identically over either.
+
+The reference backend stores only what a real SuRF stores — pruned paths
+and per-terminal suffix payloads — so its query answers (including false
+positives) are exactly those of the succinct encoding, just laid out in
+Python dicts for speed and debuggability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.keys import common_prefix_len
+from repro.filters.surf.cursor import Terminal, TerminalKind
+from repro.filters.surf.suffix import SuffixScheme
+
+
+class TrieNode:
+    """One pruned-trie node: sorted children plus an optional terminal."""
+
+    __slots__ = ("children", "terminal", "_sorted_labels")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "TrieNode"] = {}
+        self.terminal: Optional[Terminal] = None
+        self._sorted_labels: Optional[List[int]] = None
+
+    def freeze(self) -> None:
+        """Cache sorted labels once construction finishes (build-once)."""
+        self._sorted_labels = sorted(self.children)
+        for child in self.children.values():
+            child.freeze()
+
+    @property
+    def sorted_labels(self) -> List[int]:
+        """Child labels in ascending order."""
+        if self._sorted_labels is None:
+            return sorted(self.children)
+        return self._sorted_labels
+
+
+def pruned_depths(sorted_keys: Sequence[bytes]) -> List[int]:
+    """Pruned-prefix length (in bytes) for each key of a sorted unique list.
+
+    A key's pruned depth is one byte past its longest common prefix with
+    either neighbor, capped at the key's own length (keys that are prefixes
+    of other keys terminate at internal nodes).
+    """
+    n = len(sorted_keys)
+    depths: List[int] = []
+    for i, key in enumerate(sorted_keys):
+        lcp = 0
+        if i > 0:
+            lcp = max(lcp, common_prefix_len(key, sorted_keys[i - 1]))
+        if i + 1 < n:
+            lcp = max(lcp, common_prefix_len(key, sorted_keys[i + 1]))
+        depths.append(min(len(key), lcp + 1))
+    return depths
+
+
+def build_pruned_trie(sorted_keys: Sequence[bytes], scheme: SuffixScheme) -> TrieNode:
+    """Build the pruned trie with per-terminal suffix payloads.
+
+    ``sorted_keys`` must be sorted and duplicate-free (the SSTable builder
+    guarantees this); violations raise :class:`ConfigError` because a
+    mis-sorted input would silently corrupt the pruning.
+    """
+    for i in range(1, len(sorted_keys)):
+        if sorted_keys[i - 1] >= sorted_keys[i]:
+            raise ConfigError("keys must be sorted and unique for trie construction")
+    root = TrieNode()
+    for key, depth in zip(sorted_keys, pruned_depths(sorted_keys)):
+        node = root
+        for byte in key[:depth]:
+            child = node.children.get(byte)
+            if child is None:
+                child = TrieNode()
+                node.children[byte] = child
+            node = child
+        kind = TerminalKind.LEAF
+        # The terminal may gain children from longer keys inserted later;
+        # the kind is finalized in a second pass below.
+        node.terminal = Terminal(kind, scheme.payload(key, depth))
+    _finalize_kinds(root)
+    root.freeze()
+    return root
+
+
+def _finalize_kinds(node: TrieNode) -> None:
+    if node.terminal is not None and node.children:
+        node.terminal = Terminal(TerminalKind.PREFIX_KEY, node.terminal.payload)
+    for child in node.children.values():
+        _finalize_kinds(child)
+
+
+class TrieBackend:
+    """Cursor-protocol view over the pruned trie (reference backend)."""
+
+    backend_name = "trie"
+
+    def __init__(self, root: TrieNode) -> None:
+        self._root = root
+        self._counts = _count_stats(root)
+
+    @classmethod
+    def build(cls, sorted_keys: Sequence[bytes], scheme: SuffixScheme) -> "TrieBackend":
+        """Build from sorted unique keys."""
+        return cls(build_pruned_trie(sorted_keys, scheme))
+
+    # -------------------------------------------------------------- cursor API
+
+    def root(self) -> TrieNode:
+        """Root node reference."""
+        return self._root
+
+    def child(self, node: TrieNode, label: int) -> Optional[TrieNode]:
+        """Child of ``node`` along ``label``, or None."""
+        return node.children.get(label)
+
+    def terminal(self, node: TrieNode) -> Optional[Terminal]:
+        """Terminal record of ``node`` (leaf or prefix-key), or None."""
+        return node.terminal
+
+    def has_children(self, node: TrieNode) -> bool:
+        """Whether ``node`` is internal."""
+        return bool(node.children)
+
+    def children_sorted(self, node: TrieNode) -> Iterator[Tuple[int, TrieNode]]:
+        """Children in ascending label order."""
+        for label in node.sorted_labels:
+            yield label, node.children[label]
+
+    def first_child_geq(self, node: TrieNode, label: int
+                        ) -> Optional[Tuple[int, TrieNode]]:
+        """Smallest child with label >= ``label``, or None."""
+        labels = node.sorted_labels
+        # Binary search over the small sorted label list.
+        lo, hi = 0, len(labels)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if labels[mid] < label:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(labels):
+            return None
+        found = labels[lo]
+        return found, node.children[found]
+
+    # ------------------------------------------------------------------ sizing
+
+    def memory_bits(self, suffix_bits: int) -> int:
+        """Estimated size of the equivalent succinct encoding.
+
+        The dict-of-dicts layout exists for speed; for space reporting we
+        charge the LOUDS-Sparse cost the same trie would occupy: 10 bits
+        per label (8-bit label + HasChild + LOUDS) plus the suffix payload
+        per terminal.  The LOUDS backend reports its measured size instead.
+        """
+        labels, terminals = self._counts
+        return 10 * labels + suffix_bits * terminals
+
+    @property
+    def num_terminals(self) -> int:
+        """Number of stored (pruned) keys."""
+        return self._counts[1]
+
+
+def _count_stats(root: TrieNode) -> Tuple[int, int]:
+    """(total labels/edges, total terminals) of the trie."""
+    labels = 0
+    terminals = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        labels += len(node.children)
+        if node.terminal is not None:
+            terminals += 1
+        stack.extend(node.children.values())
+    return labels, terminals

@@ -1,0 +1,33 @@
+"""LSM-tree key-value store over simulated storage."""
+
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.compaction import Compactor
+from repro.lsm.db import DBStats, LSMTree
+from repro.lsm.iterator import merge_entries
+from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.memtable import TOMBSTONE, Entry, MemTable
+from repro.lsm.options import CostModel, LSMOptions
+from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
+from repro.lsm.version import Version
+from repro.lsm.wal import WriteAheadLog
+
+__all__ = [
+    "Block",
+    "BlockBuilder",
+    "Compactor",
+    "CostModel",
+    "DBStats",
+    "Entry",
+    "LSMOptions",
+    "LSMTree",
+    "Manifest",
+    "ManifestEntry",
+    "MemTable",
+    "SSTable",
+    "SSTableBuilder",
+    "SSTableReader",
+    "TOMBSTONE",
+    "Version",
+    "WriteAheadLog",
+    "merge_entries",
+]

@@ -1,0 +1,215 @@
+"""Compaction policies: leveled (default) and size-tiered.
+
+Leveled has two triggers, checked after every flush (paper section 2.2:
+compaction "unifies SSTs between levels to eliminate duplicate (stale)
+key-value pairs"):
+
+* **L0 trigger** — when the number of L0 flushes reaches
+  ``l0_compaction_trigger``, all L0 tables merge with the overlapping part
+  of L1 into fresh L1 tables.
+* **Size trigger** — when level ``i >= 1`` exceeds its byte budget
+  (``base_level_size_bytes * multiplier^(i-1)``), its first table merges
+  with the overlapping part of level ``i+1``.
+
+Merged outputs are split at ``sstable_target_bytes``; tombstones are
+dropped only when the output level is the bottommost populated level
+(below it nothing can be shadowed).  Old files are deleted from the device
+and their pages invalidated from the cache.
+
+The size-tiered style (``compaction_style="tiered"``) instead keeps every
+run in L0 and merges recency-adjacent runs of similar size — Cassandra's
+classic policy — trading read-path fan-out (more runs, more filter checks
+per ``get``) for lower write amplification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import CompactionError
+from repro.lsm.iterator import merge_entries
+from repro.lsm.options import LSMOptions
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.version import Version
+from repro.storage.device import StorageDevice
+from repro.storage.page_cache import PageCache
+
+
+class Compactor:
+    """Runs compactions against a :class:`Version` in place."""
+
+    def __init__(self, device: StorageDevice, cache: PageCache,
+                 options: LSMOptions, version: Version,
+                 allocate_path) -> None:
+        self.device = device
+        self.cache = cache
+        self.options = options
+        self.version = version
+        self._allocate_path = allocate_path
+        self.compactions_run = 0
+
+    # ----------------------------------------------------------------- policy
+
+    def maybe_compact(self) -> int:
+        """Run compactions until no trigger fires; returns how many ran."""
+        if self.options.compaction_style == "tiered":
+            return self._maybe_compact_tiered()
+        ran = 0
+        while True:
+            if len(self.version.levels[0]) >= self.options.l0_compaction_trigger:
+                self._compact_l0()
+                ran += 1
+                continue
+            level = self._oversized_level()
+            if level is not None:
+                self._compact_level(level)
+                ran += 1
+                continue
+            return ran
+
+    # ----------------------------------------------------- tiered compaction
+
+    def _maybe_compact_tiered(self) -> int:
+        """Size-tiered/universal policy: merge recency-adjacent runs of
+        similar size (every run lives in L0 and may overlap).
+
+        Only *consecutive* runs (in recency order) may merge: merging
+        across a gap would reorder shadowing between versions of a key.
+        Tombstones drop only when the merge window reaches the oldest run.
+        """
+        ran = 0
+        while True:
+            window = self._find_tier_window()
+            if window is None:
+                return ran
+            start, end = window
+            runs = self.version.levels[0][start:end]
+            oldest_included = end == len(self.version.levels[0])
+            merged = self._merge_runs(runs, drop_tombstones=oldest_included)
+            remaining = [t for t in self.version.levels[0]
+                         if t not in runs]
+            self.version.levels[0] = remaining[:start] + merged \
+                + remaining[start:]
+            self.version._max_keys[0] = None
+            for table in runs:
+                self.cache.invalidate_file(table.path)
+                self.device.delete_file(table.path)
+            self.compactions_run += 1
+            ran += 1
+
+    def merge_all_runs(self) -> None:
+        """Full compaction for the tiered style: all runs become one."""
+        runs = list(self.version.levels[0])
+        if len(runs) <= 1:
+            return
+        merged = self._merge_runs(runs, drop_tombstones=True)
+        self.version.levels[0] = merged
+        self.version._max_keys[0] = None
+        for table in runs:
+            self.cache.invalidate_file(table.path)
+            self.device.delete_file(table.path)
+        self.compactions_run += 1
+
+    def _find_tier_window(self):
+        runs = self.version.levels[0]
+        trigger = self.options.l0_compaction_trigger
+        ratio = self.options.tier_size_ratio
+        if len(runs) < trigger:
+            return None
+        # Longest consecutive window (newest first) of similar-size runs.
+        for start in range(len(runs) - trigger + 1):
+            end = start + 1
+            smallest = runs[start].size_bytes
+            largest = runs[start].size_bytes
+            while end < len(runs):
+                size = runs[end].size_bytes
+                if max(largest, size) > ratio * min(smallest, size):
+                    break
+                smallest = min(smallest, size)
+                largest = max(largest, size)
+                end += 1
+            if end - start >= trigger:
+                return start, end
+        return None
+
+    def _merge_runs(self, runs: List[SSTable],
+                    drop_tombstones: bool) -> List[SSTable]:
+        sources = [t.reader.iterate_from(b"", self.cache) for t in runs]
+        outputs: List[SSTable] = []
+        builder = None
+        for key, entry in merge_entries(sources):
+            if drop_tombstones and entry.is_tombstone:
+                continue
+            if builder is None:
+                builder = self._new_builder()
+            builder.add(key, entry)
+        if builder is not None and builder.num_entries:
+            outputs.append(builder.finish())
+        return outputs
+
+    def level_target_bytes(self, level: int) -> int:
+        """Byte budget of ``level`` (levels >= 1)."""
+        return (self.options.base_level_size_bytes
+                * self.options.level_size_multiplier ** (level - 1))
+
+    def _oversized_level(self):
+        # The last level has nowhere to push data; never select it.
+        for level in range(1, self.options.max_levels - 1):
+            if self.version.level_bytes(level) > self.level_target_bytes(level):
+                return level
+        return None
+
+    # ------------------------------------------------------------- compaction
+
+    def _compact_l0(self) -> None:
+        inputs_new = list(self.version.levels[0])
+        low = min(t.min_key for t in inputs_new)
+        high = max(t.max_key for t in inputs_new)
+        inputs_old = self.version.overlapping(1, low, high)
+        self._merge(inputs_new, inputs_old, target_level=1)
+
+    def _compact_level(self, level: int) -> None:
+        table = self.version.levels[level][0]
+        inputs_old = self.version.overlapping(level + 1, table.min_key,
+                                              table.max_key)
+        self._merge([table], inputs_old, target_level=level + 1)
+
+    def _merge(self, newer: List[SSTable], older: List[SSTable],
+               target_level: int) -> None:
+        sources = [t.reader.iterate_from(b"", self.cache) for t in newer]
+        sources += [t.reader.iterate_from(b"", self.cache) for t in older]
+        drop_tombstones = self._is_bottom(target_level)
+
+        outputs: List[SSTable] = []
+        builder = None
+        for key, entry in merge_entries(sources):
+            if drop_tombstones and entry.is_tombstone:
+                continue
+            if builder is None:
+                builder = self._new_builder()
+            builder.add(key, entry)
+            if builder.estimated_bytes >= self.options.sstable_target_bytes:
+                outputs.append(builder.finish())
+                builder = None
+        if builder is not None and builder.num_entries:
+            outputs.append(builder.finish())
+
+        removed = newer + older
+        self.version.install(target_level, outputs, removed)
+        for table in removed:
+            self.cache.invalidate_file(table.path)
+            self.device.delete_file(table.path)
+        self.compactions_run += 1
+        if not outputs and not drop_tombstones and any(
+            t.num_entries for t in removed
+        ):
+            raise CompactionError("compaction dropped live entries")
+
+    def _is_bottom(self, target_level: int) -> bool:
+        return all(not self.version.levels[lvl]
+                   for lvl in range(target_level + 1, self.options.max_levels))
+
+    def _new_builder(self) -> SSTableBuilder:
+        return SSTableBuilder(self.device, self._allocate_path(),
+                              self.options.block_size_bytes,
+                              self.options.filter_builder)

@@ -1,0 +1,426 @@
+"""The LSM-tree key-value store facade.
+
+Wires memtable, WAL, SSTables, filters, page cache and compaction into the
+dictionary abstraction of paper section 2.1 (``put``/``get``/
+``range_query``) on top of the simulated clock, so every query has a
+measurable simulated response time.
+
+The ``get`` path is the attack surface: it searches top-down (memtable,
+L0 newest-first, then one table per deeper level) and consults each
+table's in-memory filter before reading any data block, so a key rejected
+by every filter is answered without I/O — the timing signal prefix
+siphoning exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, DBClosedError
+from repro.common.rng import make_rng
+from repro.lsm.compaction import Compactor
+from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.memtable import Entry, MemTable
+from repro.lsm.options import LSMOptions
+from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
+from repro.lsm.version import Version
+from repro.lsm.wal import WriteAheadLog
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+from repro.storage.page_cache import PageCache
+
+
+@dataclass
+class DBStats:
+    """Engine-level counters (the "debugging counters" of section 10.2.2)."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    range_queries: int = 0
+    memtable_hits: int = 0
+    filter_checks: int = 0
+    filter_negatives: int = 0
+    table_reads: int = 0
+    flushes: int = 0
+
+    @property
+    def filter_positives(self) -> int:
+        """Filter checks that passed (true or false positives)."""
+        return self.filter_checks - self.filter_negatives
+
+
+class LSMTree:
+    """A single-node LSM-tree key-value store over simulated storage."""
+
+    def __init__(self, options: Optional[LSMOptions] = None,
+                 clock: Optional[SimClock] = None,
+                 device: Optional[StorageDevice] = None,
+                 cache: Optional[PageCache] = None) -> None:
+        self.options = options or LSMOptions()
+        self.clock = clock or SimClock()
+        rng = make_rng(self.options.seed, "lsm")
+        self.device = device or StorageDevice(self.clock, rng=rng.spawn("device"))
+        if self.device.clock is not self.clock:
+            raise ConfigError("device must share the LSMTree's clock")
+        self.cache = cache or PageCache(self.device, self.options.page_cache_bytes)
+        self._rng = rng
+        self._memtable = MemTable(rng.spawn("memtable"))
+        self._wal = WriteAheadLog(self.device, "wal/current.wal")
+        self._version = Version(self.options.max_levels)
+        self._manifest = Manifest(self.device)
+        self._next_file = 0
+        self._compactor = Compactor(self.device, self.cache, self.options,
+                                    self._version, self._allocate_path)
+        self.stats = DBStats()
+        self._cost_rng = rng.spawn("costs")
+        self._closed = False
+
+    # --------------------------------------------------------------- recovery
+
+    @classmethod
+    def reopen(cls, device: StorageDevice,
+               options: Optional[LSMOptions] = None) -> "LSMTree":
+        """Recover a tree from an existing device: manifest + WAL replay.
+
+        Filters load from each table's persisted filter block; tables
+        written without one (filterless configurations) fall back to
+        rebuilding from their keys when the options supply a builder.
+        """
+        db = cls(options=options, clock=device.clock, device=device)
+        for entry in db._manifest.read():
+            reader = SSTableReader.open(device, entry.path)
+            min_key, max_key = reader.properties()
+            filt = reader.load_filter()
+            if filt is None and db.options.filter_builder is not None:
+                keys = [key for key, _ in reader.iterate_from(b"", db.cache)]
+                filt = db.options.filter_builder.build(keys)
+            table = SSTable(path=entry.path, reader=reader, filter=filt,
+                            min_key=min_key, max_key=max_key,
+                            num_entries=entry.num_entries,
+                            size_bytes=entry.size_bytes)
+            if entry.level == 0:
+                db._version.levels[0].append(table)
+            else:
+                db._version.install(entry.level, [table], [])
+            db._bump_file_counter(entry.path)
+        for key, value in db._wal.replay(tolerate_torn_tail=True):
+            if value is None:
+                db._memtable.delete(key)
+            else:
+                db._memtable.put(key, value)
+        return db
+
+    def _bump_file_counter(self, path: str) -> None:
+        try:
+            number = int(path.split("/")[-1].split(".")[0])
+        except ValueError:
+            return
+        self._next_file = max(self._next_file, number + 1)
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``."""
+        self._check_open()
+        self.stats.puts += 1
+        self.charge_cost(self.options.costs.put_base_cost_us
+                         + self.options.costs.memtable_insert_cost_us)
+        if self.options.enable_wal:
+            self._wal.log_put(key, value)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key`` (writes a tombstone)."""
+        self._check_open()
+        self.stats.deletes += 1
+        self.charge_cost(self.options.costs.put_base_cost_us
+                         + self.options.costs.memtable_insert_cost_us)
+        if self.options.enable_wal:
+            self._wal.log_delete(key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self.options.memtable_size_bytes:
+            self.flush()
+
+    def flush(self) -> Optional[SSTable]:
+        """Flush the memtable to a new L0 SSTable (no-op when empty)."""
+        self._check_open()
+        if not len(self._memtable):
+            return None
+        builder = SSTableBuilder(self.device, self._allocate_path(),
+                                 self.options.block_size_bytes,
+                                 self.options.filter_builder)
+        for key, entry in self._memtable.items():
+            builder.add(key, entry)
+        table = builder.finish()
+        self._version.add_l0(table)
+        self._memtable = MemTable(self._rng.spawn(f"memtable-{self._next_file}"))
+        if self.options.enable_wal:
+            self._wal.reset()
+        self.stats.flushes += 1
+        self._compactor.maybe_compact()
+        self._write_manifest()
+        return table
+
+    def compact_all(self) -> None:
+        """Force full compaction (the paper compacts after populating)."""
+        self._check_open()
+        self.flush()
+        if self.options.compaction_style == "tiered":
+            self._compactor.merge_all_runs()
+        else:
+            # Push L0 down even below the trigger, then settle size triggers.
+            while self._version.levels[0]:
+                self._compactor._compact_l0()
+            self._compactor.maybe_compact()
+        self._write_manifest()
+
+    def bulk_load(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Ingest pre-sorted unique (key, value) pairs as bottom-level tables.
+
+        The fast path for building large experiment datasets: writes
+        ready-compacted tables directly into the deepest level that fits
+        them, bypassing the memtable and WAL (RocksDB SST-ingestion
+        analogue).  The tree must be empty.
+        """
+        self._check_open()
+        if len(self._memtable) or self._version.total_tables():
+            raise ConfigError("bulk_load requires an empty tree")
+        tables: List[SSTable] = []
+        builder = None
+        last_key = None
+        total_bytes = 0
+        for key, value in items:
+            if last_key is not None and key <= last_key:
+                raise ConfigError("bulk_load input must be sorted and unique")
+            last_key = key
+            if builder is None:
+                builder = SSTableBuilder(self.device, self._allocate_path(),
+                                         self.options.block_size_bytes,
+                                         self.options.filter_builder)
+            builder.add(key, Entry(value))
+            if builder.estimated_bytes >= self.options.sstable_target_bytes:
+                tables.append(builder.finish())
+                total_bytes += tables[-1].size_bytes
+                builder = None
+        if builder is not None and builder.num_entries:
+            tables.append(builder.finish())
+            total_bytes += tables[-1].size_bytes
+        if not tables:
+            return
+        level = self._deepest_fitting_level(total_bytes)
+        self._version.install(level, tables, [])
+        self._write_manifest()
+
+    def _deepest_fitting_level(self, total_bytes: int) -> int:
+        for level in range(self.options.max_levels - 1, 0, -1):
+            if self._compactor.level_target_bytes(level) >= total_bytes:
+                return level
+        return self.options.max_levels - 1
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point query; returns the value or None.
+
+        Charges the simulated clock for every step, making the response
+        time (via ``clock.measure()``) the attacker-visible signal.
+        """
+        self._check_open()
+        costs = self.options.costs
+        self.stats.gets += 1
+        self.charge_cost(costs.get_base_cost_us + costs.memtable_lookup_cost_us)
+        entry = self._memtable.get(key)
+        if entry is not None:
+            self.stats.memtable_hits += 1
+            return entry.value
+        for table in self._version.candidates_for_key(key):
+            if table.filter is not None:
+                self.stats.filter_checks += 1
+                self.charge_cost(costs.filter_query_cost_us)
+                if not table.filter.may_contain(key):
+                    self.stats.filter_negatives += 1
+                    continue
+            self.stats.table_reads += 1
+            entry = table.reader.get(key, self.cache, costs)
+            if entry is not None:
+                return entry.value
+        return None
+
+    def get_timed(self, key: bytes) -> Tuple[Optional[bytes], float]:
+        """``get`` plus its simulated response time in microseconds."""
+        with self.clock.measure() as stopwatch:
+            value = self.get(key)
+        return value, stopwatch.elapsed_us
+
+    def range_query(self, low: bytes, high: bytes,
+                    limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
+        """All pairs with ``low <= key <= high`` (inclusive), in key order.
+
+        Uses each table's range filter (when available) to skip tables
+        whose filter proves the intersection empty — the optimization that
+        motivated range filters (section 2.2).
+        """
+        self._check_open()
+        if low > high:
+            return []
+        costs = self.options.costs
+        self.stats.range_queries += 1
+        self.charge_cost(costs.range_seek_cost_us)
+        sources = [self._bounded(self._memtable.items_from(low), high)]
+        for level in range(self.options.max_levels):
+            for table in self.version.overlapping(level, low, high):
+                skip = False
+                if table.filter is not None and hasattr(table.filter,
+                                                        "may_contain_range"):
+                    self.stats.filter_checks += 1
+                    self.charge_cost(costs.filter_query_cost_us)
+                    if not table.filter.may_contain_range(low, high):
+                        self.stats.filter_negatives += 1
+                        skip = True
+                if not skip:
+                    self.stats.table_reads += 1
+                    sources.append(self._bounded(
+                        table.reader.iterate_from(low, self.cache), high))
+        from repro.lsm.iterator import merge_entries
+        out: List[Tuple[bytes, bytes]] = []
+        for key, entry in merge_entries(sources):
+            self.charge_cost(costs.range_next_cost_us)
+            if entry.is_tombstone:
+                continue
+            out.append((key, entry.value))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def iterator(self, low: bytes = b"", high: Optional[bytes] = None):
+        """Forward cursor over ``[low, high]`` (RocksDB-iterator analogue).
+
+        Uses range filters to skip tables whose filters prove the bound
+        range empty (only when ``high`` is given — an open-ended scan has
+        no range to test).  Each step charges the range-iteration cost.
+        """
+        self._check_open()
+        from repro.lsm.iterator import DBIterator
+        costs = self.options.costs
+        self.charge_cost(costs.range_seek_cost_us)
+        effective_high = high if high is not None else b"\xff" * 64
+        sources = [self._memtable.items_from(low)]
+        for level in range(self.options.max_levels):
+            for table in self.version.overlapping(level, low, effective_high):
+                if (high is not None and table.filter is not None
+                        and hasattr(table.filter, "may_contain_range")):
+                    self.stats.filter_checks += 1
+                    self.charge_cost(costs.filter_query_cost_us)
+                    if not table.filter.may_contain_range(low, high):
+                        self.stats.filter_negatives += 1
+                        continue
+                self.stats.table_reads += 1
+                sources.append(table.reader.iterate_from(low, self.cache))
+        return DBIterator(
+            sources, high=high,
+            on_step=lambda: self.charge_cost(costs.range_next_cost_us))
+
+    @staticmethod
+    def _bounded(iterator, high: bytes):
+        for key, entry in iterator:
+            if key > high:
+                return
+            yield key, entry
+
+    # ------------------------------------------------------- attack-side APIs
+
+    def filters_pass(self, key: bytes) -> bool:
+        """Ground-truth filter decision for ``key`` across the search path.
+
+        This is the "internal debugging counter" oracle of section 10.2.2:
+        True iff a ``get`` for ``key`` would read at least one table (some
+        filter passes, or some candidate table has no filter).  Charges no
+        simulated time and performs no I/O.
+        """
+        self._check_open()
+        for table in self._version.candidates_for_key(key):
+            if table.filter is None or table.filter.may_contain(key):
+                return True
+        return False
+
+    def range_filters_pass(self, low: bytes, high: bytes) -> bool:
+        """Ground-truth range-filter decision for ``[low, high]``.
+
+        The range-query analogue of :meth:`filters_pass`: True iff a
+        ``range_query(low, high)`` would read at least one table.  Used by
+        the idealized range-descent attack (the range-query attack the
+        paper's section 11 anticipates).
+        """
+        self._check_open()
+        if low > high:
+            return False
+        for level in range(self.options.max_levels):
+            for table in self._version.overlapping(level, low, high):
+                filt = table.filter
+                if filt is None or not hasattr(filt, "may_contain_range"):
+                    return True
+                if filt.may_contain_range(low, high):
+                    return True
+        return False
+
+    @property
+    def version(self) -> Version:
+        """The live level structure (read-only use)."""
+        return self._version
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush and mark the tree unusable."""
+        if self._closed:
+            return
+        self.flush()
+        self._write_manifest()
+        self._closed = True
+
+    def charge_cost(self, base_us: float) -> None:
+        """Charge an in-memory cost with the cost model's relative jitter.
+
+        Used for every charge on the query path so the fast (memory-only)
+        response mode has realistic spread (see ``CostModel.jitter``).
+        """
+        jitter = self.options.costs.jitter
+        if jitter:
+            base_us *= max(0.1, self._cost_rng.gauss(1.0, jitter))
+        self.clock.charge(base_us)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError("operation on closed LSMTree")
+
+    def _allocate_path(self) -> str:
+        path = f"sst/{self._next_file:06d}.sst"
+        self._next_file += 1
+        return path
+
+    def _write_manifest(self) -> None:
+        entries = []
+        for level, tables in enumerate(self._version.levels):
+            for table in tables:
+                entries.append(ManifestEntry(level, table.path,
+                                             table.num_entries,
+                                             table.size_bytes))
+        self._manifest.write(entries)
+
+    # ------------------------------------------------------------------ intro
+    def describe(self) -> dict:
+        """Summary of the tree's shape (reports, examples)."""
+        return {
+            "levels": self._version.describe(),
+            "memtable_entries": len(self._memtable),
+            "total_tables": self._version.total_tables(),
+            "filter": (self.options.filter_builder.name
+                       if self.options.filter_builder else None),
+            "cache_used_bytes": self.cache.used_bytes,
+        }

@@ -1,0 +1,104 @@
+"""K-way merging iterator with newest-wins shadowing, and the DB cursor.
+
+Used by range queries (merging the memtable with every overlapping table)
+and by compaction (merging input tables).  Sources are supplied newest
+first; when several sources carry the same key, only the newest entry
+survives — including tombstones, which shadow older values and are dropped
+by the caller where appropriate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.errors import LSMError
+from repro.lsm.memtable import Entry
+
+
+def merge_entries(sources: List[Iterable[Tuple[bytes, Entry]]]
+                  ) -> Iterator[Tuple[bytes, Entry]]:
+    """Merge sorted (key, entry) streams; ``sources[0]`` is newest.
+
+    Yields strictly ascending keys, one entry per key (the newest).
+    """
+    heap: List[Tuple[bytes, int, Tuple[bytes, Entry], Iterator]] = []
+    for priority, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first[0], priority, first, iterator))
+    previous_key = None
+    while heap:
+        key, priority, item, iterator = heapq.heappop(heap)
+        nxt = next(iterator, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], priority, nxt, iterator))
+        if key == previous_key:
+            continue  # shadowed by a newer source
+        previous_key = key
+        yield item
+
+
+class DBIterator:
+    """Forward cursor over a merged, tombstone-free view of the tree.
+
+    Positions on the first live key >= ``low`` and advances with
+    :meth:`next`.  The cursor captures the table set at construction time;
+    it stays coherent while the tree is only read, but a flush or
+    compaction after construction may delete underlying files — consume
+    cursors before mutating, as with RocksDB iterators pinned to a
+    superseded version.
+    """
+
+    def __init__(self, sources: List[Iterable[Tuple[bytes, Entry]]],
+                 high: Optional[bytes] = None,
+                 on_step=None) -> None:
+        self._merged = merge_entries(sources)
+        self._high = high
+        self._on_step = on_step
+        self._current: Optional[Tuple[bytes, bytes]] = None
+        self._advance()
+
+    def _advance(self) -> None:
+        for key, entry in self._merged:
+            if self._on_step is not None:
+                self._on_step()
+            if self._high is not None and key > self._high:
+                break
+            if entry.is_tombstone:
+                continue
+            self._current = (key, entry.value)
+            return
+        self._current = None
+
+    @property
+    def valid(self) -> bool:
+        """Whether the cursor points at a live entry."""
+        return self._current is not None
+
+    @property
+    def key(self) -> bytes:
+        """Key under the cursor."""
+        if self._current is None:
+            raise LSMError("iterator is exhausted")
+        return self._current[0]
+
+    @property
+    def value(self) -> bytes:
+        """Value under the cursor."""
+        if self._current is None:
+            raise LSMError("iterator is exhausted")
+        return self._current[1]
+
+    def next(self) -> None:
+        """Advance to the next live entry."""
+        if self._current is None:
+            raise LSMError("iterator is exhausted")
+        self._advance()
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        while self.valid:
+            item = (self.key, self.value)
+            self.next()
+            yield item

@@ -1,0 +1,64 @@
+"""Manifest: the persistent record of which SSTables live at which level.
+
+Rewritten atomically (single ``create_file``) after every flush or
+compaction, and read back at :meth:`repro.lsm.db.LSMTree.reopen` time to
+reconstruct the version.  The format is one line per table::
+
+    <level> <path> <num_entries> <size_bytes>
+
+Key ranges and filters are *not* stored here; they are recovered from the
+tables' own properties blocks and by rebuilding filters from table keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import CorruptionError
+from repro.storage.device import StorageDevice
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One table registration."""
+
+    level: int
+    path: str
+    num_entries: int
+    size_bytes: int
+
+
+class Manifest:
+    """Reads and rewrites the manifest file on the simulated device."""
+
+    def __init__(self, device: StorageDevice, path: str = "MANIFEST") -> None:
+        self.device = device
+        self.path = path
+
+    def write(self, entries: List[ManifestEntry]) -> None:
+        """Persist the complete current version."""
+        lines = [
+            f"{e.level} {e.path} {e.num_entries} {e.size_bytes}"
+            for e in entries
+        ]
+        self.device.create_file(self.path, "\n".join(lines).encode())
+
+    def read(self) -> List[ManifestEntry]:
+        """Load the last persisted version (empty if no manifest exists)."""
+        if not self.device.exists(self.path):
+            return []
+        raw = self.device.read(self.path, 0, self.device.file_size(self.path))
+        entries: List[ManifestEntry] = []
+        for line_number, line in enumerate(raw.decode().splitlines(), 1):
+            if not line.strip():
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise CorruptionError(
+                    f"manifest line {line_number} malformed: {line!r}"
+                )
+            level, path, num_entries, size_bytes = parts
+            entries.append(ManifestEntry(int(level), path,
+                                         int(num_entries), int(size_bytes)))
+        return entries

@@ -1,0 +1,150 @@
+"""Skip-list memtable — the LSM-tree's only mutable storage object.
+
+Keys map to :class:`Entry` records that distinguish values from delete
+tombstones; both must flow to the SSTables so compaction can eventually
+drop shadowed history (paper section 2.2).
+
+A skip list gives O(log n) point access plus in-order iteration for flush,
+matching what RocksDB's default memtable provides.  Tower heights come from
+a seeded RNG so experiments stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import SeededRng, make_rng
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A memtable record: a value or a tombstone."""
+
+    value: Optional[bytes]
+
+    @property
+    def is_tombstone(self) -> bool:
+        """Whether this entry deletes the key."""
+        return self.value is None
+
+
+TOMBSTONE = Entry(None)
+
+
+class _Node:
+    __slots__ = ("key", "entry", "next")
+
+    def __init__(self, key: bytes, entry: Optional[Entry], height: int) -> None:
+        self.key = key
+        self.entry = entry
+        self.next: List[Optional["_Node"]] = [None] * height
+
+
+class MemTable:
+    """Sorted in-memory write buffer with approximate size accounting."""
+
+    def __init__(self, rng: Optional[SeededRng] = None) -> None:
+        self._head = _Node(b"", None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = rng or make_rng(None, "memtable")
+        self._count = 0
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough payload size, used for the flush threshold."""
+        return self._bytes
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+        if value is None:
+            raise ConfigError("use delete() for tombstones, not put(None)")
+        self._upsert(key, Entry(bytes(value)))
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for ``key``."""
+        self._upsert(key, TOMBSTONE)
+
+    def _upsert(self, key: bytes, entry: Entry) -> None:
+        if not key:
+            raise ConfigError("empty keys are not supported")
+        update: List[_Node] = [self._head] * _MAX_HEIGHT
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.next[level]
+            update[level] = node
+        candidate = node.next[0]
+        if candidate is not None and candidate.key == key:
+            old = candidate.entry
+            self._bytes += self._entry_bytes(entry) - self._entry_bytes(old)
+            candidate.entry = entry
+            return
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        new_node = _Node(key, entry, height)
+        for level in range(height):
+            new_node.next[level] = update[level].next[level]
+            update[level].next[level] = new_node
+        self._count += 1
+        self._bytes += len(key) + self._entry_bytes(entry) + 16
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, key: bytes) -> Optional[Entry]:
+        """The entry for ``key`` (value or tombstone), or None if absent."""
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.next[level]
+        candidate = node.next[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.entry
+        return None
+
+    def items(self) -> Iterator[Tuple[bytes, Entry]]:
+        """All entries in key order (flush path)."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.entry
+            node = node.next[0]
+
+    def items_from(self, low: bytes) -> Iterator[Tuple[bytes, Entry]]:
+        """Entries with key >= ``low`` in key order (range queries)."""
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key < low:
+                node = nxt
+                nxt = node.next[level]
+        node = node.next[0]
+        while node is not None:
+            yield node.key, node.entry
+            node = node.next[0]
+
+    # ---------------------------------------------------------------- helpers
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    @staticmethod
+    def _entry_bytes(entry: Entry) -> int:
+        return len(entry.value) if entry.value is not None else 0

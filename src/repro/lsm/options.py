@@ -1,0 +1,92 @@
+"""LSM-tree configuration.
+
+One options object wires the whole engine: sizes, the filter policy, and
+the in-memory cost model that the simulated clock charges for work not
+covered by the storage device (request dispatch, memtable probe, filter
+probes).  Costs are explicit and centralized so the timing side channel the
+attack exploits is auditable: a negative-key ``get`` pays
+``get_base_cost + memtable_lookup_cost + filters_checked * filter_query_cost``
+and nothing else, landing in the paper's 5-10 us bucket, while a
+false-positive ``get`` additionally pays for real block I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.filters.base import FilterBuilder
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Microsecond charges for in-memory work on the query path.
+
+    ``jitter`` is the relative standard deviation applied to each charge
+    (CPU scheduling, cache effects, allocator noise).  Without it the
+    fast mode of the response-time distribution would be a clean delta
+    function, unlike the paper's Table 1, and the attack's 4-query
+    averaging would be pointless.
+    """
+
+    get_base_cost_us: float = 4.0
+    put_base_cost_us: float = 1.0
+    memtable_lookup_cost_us: float = 1.5
+    memtable_insert_cost_us: float = 1.2
+    filter_query_cost_us: float = 0.4
+    index_lookup_cost_us: float = 0.5
+    block_search_cost_us: float = 0.7
+    range_seek_cost_us: float = 2.0
+    range_next_cost_us: float = 0.2
+    jitter: float = 0.20
+
+
+@dataclass
+class LSMOptions:
+    """Tunable parameters of the LSM engine.
+
+    The defaults describe the reproduction's scaled-down "industrial" setup
+    (DESIGN.md section 2): small SSTables so a 50k-key dataset spreads over
+    dozens of files, and a page cache far smaller than the on-device bytes
+    so filter misses genuinely save I/O.
+    """
+
+    memtable_size_bytes: int = 256 * 1024
+    sstable_target_bytes: int = 128 * 1024
+    block_size_bytes: int = 4096
+    #: "leveled" (RocksDB default: L0 flushes merge into non-overlapping
+    #: deeper levels) or "tiered" (size-tiered/universal: overlapping runs
+    #: of similar size merge together; fewer write amplifications, more
+    #: runs — and therefore more filters — on the read path).
+    compaction_style: str = "leveled"
+    l0_compaction_trigger: int = 4
+    #: Tiered only: runs within this size factor form one tier.
+    tier_size_ratio: float = 2.0
+    level_size_multiplier: int = 10
+    max_levels: int = 7
+    base_level_size_bytes: int = 1 * 1024 * 1024
+    filter_builder: Optional[FilterBuilder] = None
+    page_cache_bytes: int = 4 * 1024 * 1024
+    enable_wal: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memtable_size_bytes <= 0:
+            raise ConfigError("memtable size must be positive")
+        if self.sstable_target_bytes <= 0:
+            raise ConfigError("sstable target size must be positive")
+        if self.block_size_bytes <= 0:
+            raise ConfigError("block size must be positive")
+        if self.l0_compaction_trigger < 1:
+            raise ConfigError("L0 compaction trigger must be at least 1")
+        if self.compaction_style not in ("leveled", "tiered"):
+            raise ConfigError(
+                f"unknown compaction style {self.compaction_style!r}")
+        if self.tier_size_ratio < 1.0:
+            raise ConfigError("tier size ratio must be at least 1.0")
+        if self.level_size_multiplier < 2:
+            raise ConfigError("level size multiplier must be at least 2")
+        if not 1 <= self.max_levels <= 16:
+            raise ConfigError("max_levels must be in [1, 16]")

@@ -1,0 +1,289 @@
+"""SSTable files: immutable sorted tables with index, properties and filter.
+
+Layout on the simulated device::
+
+    [data block]*  [properties block]  [filter block]  [index block]  [footer]
+
+The index block maps each data block's last key to its (offset, length);
+index, properties and the filter are read once at open and pinned in
+memory, mirroring RocksDB's pinned index/filter blocks — the paper's
+timing asymmetry comes from *data* block reads only, and that is the only
+read path that goes through the page cache here.
+
+Filters are built from the table's keys at construction time, persisted
+into the filter block (:mod:`repro.filters.serialize`), and reloaded from
+it on reopen — no key re-scan needed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, CorruptionError
+from repro.filters.base import Filter, FilterBuilder
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.memtable import Entry
+from repro.lsm.options import CostModel
+from repro.storage.device import StorageDevice
+from repro.storage.page_cache import PageCache
+
+_FOOTER = struct.Struct("<QIQIQIQ")
+_MAGIC = 0x5355524646545245  # "SURFFTRE"
+_BLOCK_REF = struct.Struct("<QI")
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Location of one data block inside the file."""
+
+    offset: int
+    length: int
+
+
+class SSTableBuilder:
+    """Streams sorted records into an SSTable file on the device."""
+
+    def __init__(self, device: StorageDevice, path: str, block_size: int,
+                 filter_builder: Optional[FilterBuilder] = None) -> None:
+        self.device = device
+        self.path = path
+        self.block_size = block_size
+        self.filter_builder = filter_builder
+        self._chunks: List[bytes] = []
+        self._size = 0
+        self._current = BlockBuilder(block_size)
+        self._index_entries: List[Tuple[bytes, BlockHandle]] = []
+        self._keys: List[bytes] = []
+        self._min_key: Optional[bytes] = None
+        self._max_key: Optional[bytes] = None
+        self._finished = False
+
+    def add(self, key: bytes, entry: Entry) -> None:
+        """Append a record; keys must arrive in ascending order."""
+        if self._finished:
+            raise ConfigError("builder already finished")
+        if self._max_key is not None and key <= self._max_key:
+            raise ConfigError("SSTable records must be added in ascending key order")
+        self._current.add(key, entry)
+        self._keys.append(key)
+        if self._min_key is None:
+            self._min_key = key
+        self._max_key = key
+        if self._current.is_full:
+            self._flush_block()
+
+    @property
+    def num_entries(self) -> int:
+        """Records added so far."""
+        return len(self._keys)
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Bytes emitted so far (flush-threshold heuristic)."""
+        return self._size
+
+    def finish(self) -> "SSTable":
+        """Write the file and return the in-memory table handle."""
+        if self._finished:
+            raise ConfigError("builder already finished")
+        if not self._keys:
+            raise ConfigError("cannot finish an empty SSTable")
+        self._finished = True
+        if self._current.num_records:
+            self._flush_block()
+
+        props = BlockBuilder(1 << 30)
+        props.add(b"max_key", Entry(self._max_key))
+        props.add(b"min_key", Entry(self._min_key))
+        props.add(b"num_entries", Entry(len(self._keys).to_bytes(8, "big")))
+        props_data = props.finish()
+        props_offset = self._size
+        self._emit(props_data)
+
+        # Build and persist the filter block, so reopening the table never
+        # needs to re-derive the filter from its keys (RocksDB-style).
+        filt = self.filter_builder.build(self._keys) if self.filter_builder else None
+        filter_offset = self._size
+        filter_data = b""
+        if filt is not None:
+            from repro.filters.serialize import serialize_filter
+            filter_data = serialize_filter(filt)
+            self._emit(filter_data)
+
+        index = BlockBuilder(1 << 30)
+        for last_key, handle in self._index_entries:
+            index.add(last_key, Entry(_BLOCK_REF.pack(handle.offset, handle.length)))
+        index_data = index.finish()
+        index_offset = self._size
+        self._emit(index_data)
+
+        self._emit(_FOOTER.pack(props_offset, len(props_data),
+                                index_offset, len(index_data),
+                                filter_offset, len(filter_data), _MAGIC))
+        self.device.create_file(self.path, b"".join(self._chunks))
+
+        reader = SSTableReader(
+            self.device, self.path,
+            index_entries=list(self._index_entries),
+            num_entries=len(self._keys),
+        )
+        return SSTable(
+            path=self.path,
+            reader=reader,
+            filter=filt,
+            min_key=self._min_key,
+            max_key=self._max_key,
+            num_entries=len(self._keys),
+            size_bytes=self._size,
+        )
+
+    def _flush_block(self) -> None:
+        data = self._current.finish()
+        handle = BlockHandle(self._size, len(data))
+        self._index_entries.append((self._current.last_key, handle))
+        self._emit(data)
+        self._current = BlockBuilder(self.block_size)
+
+    def _emit(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+
+class SSTableReader:
+    """Query-side view: pinned index + page-cached data block reads."""
+
+    def __init__(self, device: StorageDevice, path: str,
+                 index_entries: Optional[List[Tuple[bytes, BlockHandle]]] = None,
+                 num_entries: Optional[int] = None) -> None:
+        self.device = device
+        self.path = path
+        if index_entries is None:
+            index_entries, num_entries = self._load_metadata()
+        self._index = index_entries
+        self.num_entries = num_entries or 0
+
+    @classmethod
+    def open(cls, device: StorageDevice, path: str) -> "SSTableReader":
+        """Open an existing table, reading its footer/props/index once."""
+        return cls(device, path)
+
+    def _load_metadata(self) -> Tuple[List[Tuple[bytes, BlockHandle]], int]:
+        size = self.device.file_size(self.path)
+        if size < _FOOTER.size:
+            raise CorruptionError(f"{self.path!r} too small to be an SSTable")
+        footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
+        (props_off, props_len, index_off, index_len,
+         _filter_off, _filter_len, magic) = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
+        props = Block(self.device.read(self.path, props_off, props_len))
+        num_entry = props.get(b"num_entries")
+        if num_entry is None:
+            raise CorruptionError(f"{self.path!r} missing num_entries property")
+        num_entries = int.from_bytes(num_entry.value, "big")
+        index_block = Block(self.device.read(self.path, index_off, index_len))
+        entries: List[Tuple[bytes, BlockHandle]] = []
+        for key, entry in index_block.items():
+            offset, length = _BLOCK_REF.unpack(entry.value)
+            entries.append((key, BlockHandle(offset, length)))
+        return entries, num_entries
+
+    def properties(self) -> Tuple[bytes, bytes]:
+        """(min_key, max_key) re-read from the file (recovery path)."""
+        size = self.device.file_size(self.path)
+        footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
+        props_off, props_len, _, _, _, _, magic = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
+        props = Block(self.device.read(self.path, props_off, props_len))
+        min_entry = props.get(b"min_key")
+        max_entry = props.get(b"max_key")
+        if min_entry is None or max_entry is None:
+            raise CorruptionError(f"{self.path!r} missing key-range properties")
+        return min_entry.value, max_entry.value
+
+    def _block_index_for(self, key: bytes) -> Optional[int]:
+        # First block whose last key >= key holds the key if any does.
+        lo, hi = 0, len(self._index)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo if lo < len(self._index) else None
+
+    def get(self, key: bytes, cache: PageCache, costs: CostModel
+            ) -> Optional[Entry]:
+        """Point lookup through the page cache.
+
+        Returns the entry (value or tombstone) or None.  This is the I/O
+        the attack's timing oracle observes: exactly one data block read
+        when the filter (checked by the caller) passed the key.
+        """
+        self.device.clock.charge(costs.index_lookup_cost_us)
+        block_index = self._block_index_for(key)
+        if block_index is None:
+            return None
+        handle = self._index[block_index][1]
+        data = cache.read(self.path, handle.offset, handle.length)
+        self.device.clock.charge(costs.block_search_cost_us)
+        return Block(data).get(key)
+
+    def iterate_from(self, low: bytes, cache: PageCache
+                     ) -> Iterator[Tuple[bytes, Entry]]:
+        """Records with key >= ``low`` in order, reading blocks lazily."""
+        start = self._block_index_for(low)
+        if start is None:
+            return
+        for bi in range(start, len(self._index)):
+            handle = self._index[bi][1]
+            block = Block(cache.read(self.path, handle.offset, handle.length))
+            index = block.lower_bound(low) if bi == start else 0
+            for record_index in range(index, len(block)):
+                yield block.record_at(record_index)
+
+    def load_filter(self):
+        """Deserialize the table's persisted filter block, or None.
+
+        Read directly from the device at open time (recovery path, off the
+        measured query cycle); the live filter is pinned in memory after.
+        """
+        size = self.device.file_size(self.path)
+        footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
+        (_, _, _, _, filter_off, filter_len, magic) = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
+        if not filter_len:
+            return None
+        from repro.filters.serialize import deserialize_filter
+        return deserialize_filter(
+            self.device.read(self.path, filter_off, filter_len))
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of data blocks."""
+        return len(self._index)
+
+
+@dataclass
+class SSTable:
+    """In-memory handle for one table: reader + filter + key-range metadata."""
+
+    path: str
+    reader: SSTableReader
+    filter: Optional[Filter]
+    min_key: bytes
+    max_key: bytes
+    num_entries: int
+    size_bytes: int
+
+    def covers(self, key: bytes) -> bool:
+        """Whether ``key`` falls within this table's key range."""
+        return self.min_key <= key <= self.max_key
+
+    def overlaps(self, low: bytes, high: bytes) -> bool:
+        """Whether the table's range intersects ``[low, high]``."""
+        return not (high < self.min_key or low > self.max_key)

@@ -1,0 +1,118 @@
+"""Level structure of the tree (the "version" in LSM terminology).
+
+Level 0 holds whole-memtable flushes, newest first, whose key ranges may
+overlap; levels 1 and deeper hold non-overlapping tables sorted by key
+range, so a point lookup touches at most one table per deep level.  This
+is the paper's section 2.2 layout and the reason a non-present key without
+filters would cost one probe per L0 table plus one per deeper level.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional
+
+from repro.common.errors import LSMError
+from repro.lsm.sstable import SSTable
+
+
+class Version:
+    """Mutable registry of live SSTables per level."""
+
+    def __init__(self, max_levels: int) -> None:
+        self.max_levels = max_levels
+        # levels[0]: newest-first flush order; levels[1:]: sorted by min_key.
+        self.levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+        # Cached per-level max_key arrays for binary search on the hot path.
+        self._max_keys: List[Optional[List[bytes]]] = [None] * max_levels
+
+    # ---------------------------------------------------------------- updates
+
+    def add_l0(self, table: SSTable) -> None:
+        """Register a fresh memtable flush (newest first)."""
+        self.levels[0].insert(0, table)
+
+    def install(self, level: int, added: List[SSTable],
+                removed: List[SSTable]) -> None:
+        """Apply a compaction result: drop ``removed``, insert ``added``."""
+        removed_paths = {t.path for t in removed}
+        for lvl in range(self.max_levels):
+            self.levels[lvl] = [t for t in self.levels[lvl]
+                                if t.path not in removed_paths]
+            self._max_keys[lvl] = None
+        if level == 0:
+            for table in reversed(added):
+                self.levels[0].insert(0, table)
+        else:
+            merged = self.levels[level] + added
+            merged.sort(key=lambda t: t.min_key)
+            for i in range(1, len(merged)):
+                if merged[i - 1].max_key >= merged[i].min_key:
+                    raise LSMError(
+                        f"overlapping tables installed at level {level}: "
+                        f"{merged[i - 1].path} and {merged[i].path}"
+                    )
+            self.levels[level] = merged
+
+    # ----------------------------------------------------------------- search
+
+    def candidates_for_key(self, key: bytes) -> Iterator[SSTable]:
+        """Tables that might hold ``key``, newest data first.
+
+        This is the top-down search order of a ``get``: all covering L0
+        tables (newest first), then the single covering table per deeper
+        level.
+        """
+        for table in self.levels[0]:
+            if table.covers(key):
+                yield table
+        for level in range(1, self.max_levels):
+            table = self._find_in_level(level, key)
+            if table is not None:
+                yield table
+
+    def _find_in_level(self, level: int, key: bytes) -> Optional[SSTable]:
+        tables = self.levels[level]
+        if not tables:
+            return None
+        max_keys = self._max_keys[level]
+        if max_keys is None:
+            max_keys = [t.max_key for t in tables]
+            self._max_keys[level] = max_keys
+        index = bisect_left(max_keys, key)
+        if index < len(tables) and tables[index].covers(key):
+            return tables[index]
+        return None
+
+    def overlapping(self, level: int, low: bytes, high: bytes) -> List[SSTable]:
+        """Tables at ``level`` intersecting ``[low, high]``."""
+        return [t for t in self.levels[level] if t.overlaps(low, high)]
+
+    # ------------------------------------------------------------------ stats
+
+    def level_bytes(self, level: int) -> int:
+        """Total file bytes at ``level``."""
+        return sum(t.size_bytes for t in self.levels[level])
+
+    def total_tables(self) -> int:
+        """Live table count across all levels."""
+        return sum(len(tables) for tables in self.levels)
+
+    def all_tables(self) -> Iterator[SSTable]:
+        """Every live table, L0 first."""
+        for tables in self.levels:
+            yield from tables
+
+    def describe(self) -> List[dict]:
+        """Per-level summary rows for reports and debugging."""
+        out = []
+        for level, tables in enumerate(self.levels):
+            if not tables:
+                continue
+            out.append({
+                "level": level,
+                "tables": len(tables),
+                "bytes": self.level_bytes(level),
+                "entries": sum(t.num_entries for t in tables),
+            })
+        return out

@@ -1,0 +1,20 @@
+"""Simulated storage substrate: clock, NVMe device, page cache, background load."""
+
+from repro.storage.background import BackgroundLoad, LoadModel
+from repro.storage.clock import SimClock, StopwatchHandle
+from repro.storage.device import DEFAULT_BLOCK_SIZE, DeviceModel, DeviceStats, StorageDevice
+from repro.storage.page_cache import CACHE_HIT_COST_US, CacheStats, PageCache
+
+__all__ = [
+    "BackgroundLoad",
+    "CACHE_HIT_COST_US",
+    "CacheStats",
+    "DEFAULT_BLOCK_SIZE",
+    "DeviceModel",
+    "DeviceStats",
+    "LoadModel",
+    "PageCache",
+    "SimClock",
+    "StopwatchHandle",
+    "StorageDevice",
+]

@@ -1,0 +1,171 @@
+"""Simulated block storage device with an NVMe-like latency model.
+
+Files are byte strings held in memory; reads charge the simulated clock
+according to a seeded latency model.  The model is deliberately simple —
+a lognormal per-read service time plus a per-block transfer cost — because
+the attack only needs the qualitative property that a read from "secondary
+storage" costs tens of microseconds with noise, clearly separable from
+DRAM-scale work yet overlapping enough that single measurements are noisy
+(which is why the attack averages four queries per key, section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import (
+    ConfigError,
+    FileNotFoundInStoreError,
+    ReadOutOfBoundsError,
+)
+from repro.common.rng import SeededRng, make_rng
+
+#: Default block size, matching common SSD/page-cache granularity.
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Latency parameters of the simulated device (all microseconds).
+
+    The defaults are tuned so a single-block read lands mostly in the
+    18-28 us range, reproducing the paper's observation that false-positive
+    queries (one SSTable block read) respond in 25-35 us end-to-end while
+    memory-only queries take 5-10 us.
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: lognormal location of the per-read service time.
+    read_latency_mu: float = 3.0  # exp(3.0) ~ 20 us median
+    #: lognormal scale (noise) of the per-read service time.
+    read_latency_sigma: float = 0.12
+    #: additional cost per block transferred beyond the first.
+    per_block_transfer_us: float = 1.5
+    #: flat cost of a write (writes are off the timing-attack path).
+    write_latency_us: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigError(f"block size must be positive, got {self.block_size}")
+        if self.read_latency_sigma < 0:
+            raise ConfigError("read latency sigma must be non-negative")
+
+
+@dataclass
+class DeviceStats:
+    """Operation counters, used by tests and the idealized-attack oracle."""
+
+    reads: int = 0
+    blocks_read: int = 0
+    writes: int = 0
+    bytes_written: int = 0
+
+
+class StorageDevice:
+    """In-memory file store that charges simulated I/O latency.
+
+    The device is shared by the LSM-tree (SSTables, WAL) and read through
+    the :class:`~repro.storage.page_cache.PageCache`; direct reads model
+    cache misses.
+    """
+
+    def __init__(self, clock, model: Optional[DeviceModel] = None,
+                 rng: Optional[SeededRng] = None) -> None:
+        self.clock = clock
+        self.model = model or DeviceModel()
+        self._rng = rng or make_rng(None, "device")
+        self._files: Dict[str, bytes] = {}
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------ files
+
+    def create_file(self, path: str, data: bytes) -> None:
+        """Write a complete immutable file (SSTables are write-once)."""
+        self._files[path] = bytes(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self.clock.charge(self.model.write_latency_us)
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append to a file, creating it if missing (WAL traffic)."""
+        self._files[path] = self._files.get(path, b"") + bytes(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self.clock.charge(self.model.write_latency_us)
+
+    def delete_file(self, path: str) -> None:
+        """Remove a file (compaction garbage collection)."""
+        self._files.pop(path, None)
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists on the device."""
+        return path in self._files
+
+    def file_size(self, path: str) -> int:
+        """Size of ``path`` in bytes."""
+        return len(self._file(path))
+
+    def list_files(self):
+        """Sorted list of file paths (manifest recovery, tests)."""
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------ reads
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``, charging I/O latency.
+
+        The charge covers every block the byte range touches: one lognormal
+        service time for the read plus a linear transfer cost per extra
+        block.
+        """
+        data = self._file(path)
+        if offset < 0 or length < 0 or offset + length > len(data):
+            raise ReadOutOfBoundsError(
+                f"read [{offset}, {offset + length}) out of bounds for "
+                f"{path!r} of size {len(data)}"
+            )
+        blocks = self._blocks_spanned(offset, length)
+        self.stats.reads += 1
+        self.stats.blocks_read += blocks
+        self.clock.charge(self._read_cost_us(blocks))
+        return data[offset : offset + length]
+
+    def read_block(self, path: str, block_index: int) -> bytes:
+        """Read one whole block (page-cache fill granularity)."""
+        data = self._file(path)
+        start = block_index * self.model.block_size
+        if start >= len(data) or block_index < 0:
+            raise ReadOutOfBoundsError(
+                f"block {block_index} out of bounds for {path!r} of size {len(data)}"
+            )
+        self.stats.reads += 1
+        self.stats.blocks_read += 1
+        self.clock.charge(self._read_cost_us(1))
+        return data[start : start + self.model.block_size]
+
+    def num_blocks(self, path: str) -> int:
+        """Number of blocks in ``path`` (last one may be partial)."""
+        size = len(self._file(path))
+        return (size + self.model.block_size - 1) // self.model.block_size
+
+    # ---------------------------------------------------------------- helpers
+
+    def _file(self, path: str) -> bytes:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(f"no such file: {path!r}") from None
+
+    def _blocks_spanned(self, offset: int, length: int) -> int:
+        if length == 0:
+            return 1
+        first = offset // self.model.block_size
+        last = (offset + length - 1) // self.model.block_size
+        return last - first + 1
+
+    def _read_cost_us(self, blocks: int) -> float:
+        service = self._rng.lognormvariate(
+            self.model.read_latency_mu, self.model.read_latency_sigma
+        )
+        return service + self.model.per_block_transfer_us * (blocks - 1)

@@ -1,0 +1,143 @@
+"""LRU page cache over the simulated storage device.
+
+Models the OS page cache that the paper's attack has to fight: once a
+false-positive query drags an SSTable block into the cache, re-querying the
+same key is served from memory and no longer distinguishable from a negative
+key.  The attacker relies on *legitimate background I/O* evicting those
+blocks between attack iterations (section 9); the
+:class:`~repro.storage.background.BackgroundLoad` generator drives that
+eviction against this cache.
+
+The paper's setup caps RocksDB's DRAM at 2 GB via cgroups while the dataset
+is ~50 GB; the default capacity here is likewise a small fraction of a
+default experiment's on-device bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+from repro.storage.device import StorageDevice
+
+#: Simulated cost of serving one cached page (DRAM copy + lookup).
+CACHE_HIT_COST_US = 0.8
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; the idealized attack and tests read these."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PageCache:
+    """Capacity-bounded LRU cache of device blocks.
+
+    Keys are ``(path, block_index)`` pairs; values are block payloads.  All
+    LSM reads funnel through :meth:`read`, which charges either a DRAM-scale
+    hit cost or a full device read on miss.
+    """
+
+    def __init__(self, device: StorageDevice, capacity_bytes: int,
+                 hit_cost_us: float = CACHE_HIT_COST_US) -> None:
+        if capacity_bytes < device.model.block_size:
+            raise ConfigError(
+                f"page cache capacity {capacity_bytes} smaller than one block "
+                f"({device.model.block_size})"
+            )
+        self.device = device
+        self.capacity_bytes = capacity_bytes
+        self.hit_cost_us = hit_cost_us
+        self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------------- access
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        """Read a byte range through the cache, block by block."""
+        block_size = self.device.model.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size if length else first
+        chunks = []
+        for block_index in range(first, last + 1):
+            chunks.append(self.read_block(path, block_index))
+        blob = b"".join(chunks)
+        start = offset - first * block_size
+        return blob[start : start + length]
+
+    def read_block(self, path: str, block_index: int) -> bytes:
+        """Read one block, filling the cache on miss."""
+        key = (path, block_index)
+        cached = self._pages.get(key)
+        if cached is not None:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            self.device.clock.charge(self.hit_cost_us)
+            return cached
+        self.stats.misses += 1
+        block = self.device.read_block(path, block_index)
+        self._insert(key, block)
+        return block
+
+    def contains(self, path: str, block_index: int) -> bool:
+        """Whether a block is currently cached (no cost, no LRU touch)."""
+        return (path, block_index) in self._pages
+
+    # -------------------------------------------------------------- churning
+
+    def insert_foreign(self, tag: str, block_index: int, size: int) -> None:
+        """Insert a synthetic page on behalf of background load.
+
+        Legitimate traffic reading unrelated files pushes the attacker's
+        blocks out of the cache; the payload content is irrelevant, only the
+        displacement matters, so we insert zero-filled pages keyed by an
+        artificial path.
+        """
+        self._insert((f"!bg:{tag}", block_index), b"\x00" * size)
+
+    def invalidate_file(self, path: str) -> None:
+        """Drop every cached block of ``path`` (file deleted by compaction)."""
+        stale = [key for key in self._pages if key[0] == path]
+        for key in stale:
+            self._bytes -= len(self._pages.pop(key))
+
+    def clear(self) -> None:
+        """Drop all cached pages."""
+        self._pages.clear()
+        self._bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # ---------------------------------------------------------------- helpers
+
+    def _insert(self, key: Tuple[str, int], block: bytes) -> None:
+        if key in self._pages:
+            self._bytes -= len(self._pages.pop(key))
+        self._pages[key] = block
+        self._bytes += len(block)
+        while self._bytes > self.capacity_bytes and self._pages:
+            _, evicted = self._pages.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.stats.evictions += 1

@@ -1,0 +1,46 @@
+"""High-level ACL-checking system of the threat model (paper section 4)."""
+
+from repro.system.acl import Acl, pack_value, unpack_value
+from repro.system.detector import (
+    DetectorPolicy,
+    MonitoredService,
+    SiphoningDetector,
+    UserVerdict,
+)
+from repro.system.responses import Response, Status
+from repro.system.network import (
+    DATACENTER,
+    LAN,
+    LOCALHOST,
+    WAN,
+    NetworkModel,
+    RemoteClient,
+    remote_service,
+)
+from repro.system.ratelimit import RateLimitedService, RateLimitPolicy
+from repro.system.service import ACL_CHECK_US, REQUEST_OVERHEAD_US, KVService, ServiceStats
+
+__all__ = [
+    "ACL_CHECK_US",
+    "Acl",
+    "DATACENTER",
+    "DetectorPolicy",
+    "MonitoredService",
+    "SiphoningDetector",
+    "UserVerdict",
+    "LAN",
+    "LOCALHOST",
+    "NetworkModel",
+    "RateLimitPolicy",
+    "RateLimitedService",
+    "RemoteClient",
+    "WAN",
+    "remote_service",
+    "KVService",
+    "REQUEST_OVERHEAD_US",
+    "Response",
+    "ServiceStats",
+    "Status",
+    "pack_value",
+    "unpack_value",
+]

@@ -1,0 +1,49 @@
+"""ACL records stored inside values.
+
+Paper section 4: "Key ACLs are stored as part of the value associated with
+the key" — the common design the attack targets, because checking a
+permission then *requires* reading the value, so every user query reaches
+the key-value store regardless of authorization.
+
+Encoded value layout: ``u8 flags | u16 owner | payload``; flag bit 0 makes
+the object world-readable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import CorruptionError, ServiceError
+
+_HEADER = struct.Struct("<BH")
+_FLAG_PUBLIC = 0x01
+
+
+@dataclass(frozen=True)
+class Acl:
+    """Access-control record for one object."""
+
+    owner: int
+    public_read: bool = False
+
+    def allows_read(self, user: int) -> bool:
+        """Whether ``user`` may read the object."""
+        return self.public_read or user == self.owner
+
+
+def pack_value(acl: Acl, payload: bytes) -> bytes:
+    """Serialize ACL + payload into the stored value."""
+    if not 0 <= acl.owner <= 0xFFFF:
+        raise ServiceError(f"owner id {acl.owner} out of range [0, 65535]")
+    flags = _FLAG_PUBLIC if acl.public_read else 0
+    return _HEADER.pack(flags, acl.owner) + payload
+
+
+def unpack_value(stored: bytes) -> Tuple[Acl, bytes]:
+    """Split a stored value back into (ACL, payload)."""
+    if len(stored) < _HEADER.size:
+        raise CorruptionError("stored value too short to contain an ACL header")
+    flags, owner = _HEADER.unpack_from(stored)
+    return Acl(owner, bool(flags & _FLAG_PUBLIC)), stored[_HEADER.size:]

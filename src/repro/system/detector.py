@@ -1,0 +1,182 @@
+"""Prefix-siphoning anomaly detection.
+
+The paper closes by encouraging practitioners "to evaluate the security
+impact of their work"; this module is the defensive counterpart of the
+attack: a per-user, sliding-window detector over the request stream the
+service already sees.  It scores two signatures that every prefix
+siphoning variant exhibits and benign traffic does not:
+
+* **miss ratio** — the attack guesses keys, so nearly all of its requests
+  fail (FindFPK, IdPrefix probes, suffix extension).  Benign workloads
+  look up keys they were given.
+* **failed-key prefix clustering** — IdPrefix and step-3 extension hammer
+  one shared prefix with thousands of sibling keys; the average adjacent
+  longest-common-prefix of the window's *failed* keys, in excess of what
+  its own size predicts for uniform keys, exposes that focus.  (A window
+  of w uniform b-bit-symbol keys has expected adjacent LCP that grows
+  with log(w), so the threshold is calibrated against the window, not a
+  constant.)
+
+The detector sees only what an ACL-checking service already logs (user,
+key, outcome); it needs no engine hooks.  Detection does not *prevent*
+the leak — it arms the rate-limiting/blocking response the paper's
+section 11 discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.keys import common_prefix_len
+from repro.system.responses import Response, Status
+from repro.system.service import KVService
+
+
+@dataclass(frozen=True)
+class DetectorPolicy:
+    """Sliding-window thresholds."""
+
+    window: int = 512
+    #: Minimum observations before the detector may fire.
+    min_requests: int = 256
+    #: Miss-ratio threshold; benign mixes sit well below it.
+    miss_ratio_threshold: float = 0.90
+    #: Miss ratio at which no clustering evidence is needed: essentially
+    #: every request failing is the FindFPK guessing phase's signature.
+    extreme_miss_ratio: float = 0.98
+    #: How many bytes of adjacent-LCP *excess* over the uniform baseline
+    #: the failed-key window must show (jointly with the miss ratio).
+    lcp_excess_threshold: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.window < 16:
+            raise ConfigError("window must be at least 16 requests")
+        if not 16 <= self.min_requests <= self.window:
+            raise ConfigError("min_requests must be in [16, window]")
+        if not 0.0 < self.miss_ratio_threshold <= 1.0:
+            raise ConfigError("miss ratio threshold must be in (0, 1]")
+        if self.lcp_excess_threshold < 0:
+            raise ConfigError("LCP excess threshold must be non-negative")
+
+
+@dataclass
+class UserVerdict:
+    """Current detector state for one user."""
+
+    requests_seen: int
+    miss_ratio: float
+    lcp_excess: float
+    flagged: bool
+    reason: str
+
+
+class SiphoningDetector:
+    """Per-user sliding-window scoring of the request stream."""
+
+    def __init__(self, policy: DetectorPolicy = DetectorPolicy()) -> None:
+        self.policy = policy
+        self._windows: Dict[int, Deque[Tuple[bytes, bool]]] = {}
+        self._totals: Dict[int, int] = {}
+
+    # --------------------------------------------------------------- feeding
+
+    def observe(self, user: int, key: bytes, status: Status) -> None:
+        """Record one request outcome (OK vs any failure)."""
+        window = self._windows.setdefault(
+            user, deque(maxlen=self.policy.window))
+        window.append((key, status is Status.OK))
+        self._totals[user] = self._totals.get(user, 0) + 1
+
+    # --------------------------------------------------------------- scoring
+
+    def verdict(self, user: int) -> UserVerdict:
+        """Score ``user``'s recent window."""
+        window = self._windows.get(user)
+        seen = self._totals.get(user, 0)
+        if not window or seen < self.policy.min_requests:
+            return UserVerdict(seen, 0.0, 0.0, False, "insufficient data")
+        misses = [key for key, ok in window if not ok]
+        miss_ratio = len(misses) / len(window)
+        lcp_excess = self._lcp_excess(misses)
+        if miss_ratio >= self.policy.extreme_miss_ratio:
+            return UserVerdict(
+                seen, miss_ratio, lcp_excess, True,
+                f"extreme miss ratio {miss_ratio:.2f} (guessing phase)")
+        if miss_ratio < self.policy.miss_ratio_threshold:
+            return UserVerdict(seen, miss_ratio, lcp_excess, False,
+                               "healthy miss ratio")
+        if lcp_excess < self.policy.lcp_excess_threshold:
+            return UserVerdict(seen, miss_ratio, lcp_excess, False,
+                               "misses look unfocused")
+        return UserVerdict(
+            seen, miss_ratio, lcp_excess, True,
+            f"miss ratio {miss_ratio:.2f} with prefix-clustered failures "
+            f"(+{lcp_excess:.2f} bytes over uniform)")
+
+    def flagged_users(self):
+        """Users whose current window trips the detector."""
+        return [user for user in self._windows if self.verdict(user).flagged]
+
+    def _lcp_excess(self, misses) -> float:
+        if len(misses) < 8:
+            return 0.0
+        ordered = sorted(misses)
+        total = 0
+        for a, b in zip(ordered, ordered[1:]):
+            total += common_prefix_len(a, b)
+        mean_lcp = total / (len(ordered) - 1)
+        # Uniform baseline: among w uniform byte-strings, the expected
+        # adjacent LCP is ~log_256(w) plus a small constant tail.
+        baseline = math.log(max(2, len(ordered)), 256) + 256 / 255 - 1
+        return mean_lcp - baseline
+
+
+class MonitoredService:
+    """A :class:`KVService` facade that feeds the detector inline.
+
+    Exposes the surface the attack oracles consume, so any experiment can
+    interpose monitoring without touching the attacker.  Detection is
+    passive here (observe + flag); pairing it with
+    :class:`~repro.system.ratelimit.RateLimitedService` yields the
+    detect-then-throttle response of section 11.
+    """
+
+    def __init__(self, service: KVService,
+                 detector: Optional[SiphoningDetector] = None) -> None:
+        self.service = service
+        self.detector = detector or SiphoningDetector()
+        self.db = service.db
+        self.distinguish_unauthorized = service.distinguish_unauthorized
+
+    def get(self, user: int, key: bytes) -> Response:
+        """Forward a point request, recording its outcome."""
+        response = self.service.get(user, key)
+        self.detector.observe(user, key, response.status)
+        return response
+
+    def get_timed(self, user: int, key: bytes):
+        """Forward a timed point request, recording its outcome."""
+        response, elapsed = self.service.get_timed(user, key)
+        self.detector.observe(user, key, response.status)
+        return response, elapsed
+
+    def range_query(self, user: int, low: bytes, high: bytes,
+                    limit: Optional[int] = None):
+        """Forward a range request, recording emptiness as a miss."""
+        out = self.service.range_query(user, low, high, limit=limit)
+        self.detector.observe(user, low,
+                              Status.OK if out else Status.NOT_FOUND)
+        return out
+
+    def range_query_timed(self, user: int, low: bytes, high: bytes,
+                          limit: Optional[int] = None):
+        """Forward a timed range request, recording emptiness as a miss."""
+        out, elapsed = self.service.range_query_timed(user, low, high,
+                                                      limit=limit)
+        self.detector.observe(user, low,
+                              Status.OK if out else Status.NOT_FOUND)
+        return out, elapsed

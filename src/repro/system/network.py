@@ -1,0 +1,108 @@
+"""Remote-attacker network model (threat model, paper section 4).
+
+The paper assumes only that the attacker "can observe microsecond-level
+timing differences in the response times", citing Crosby et al. (20 us
+resolution over the circa-2009 Internet, 100 ns on a LAN) and concurrency
+based timing attacks (100 ns over the Internet).  This module makes that
+assumption explicit and testable: a :class:`RemoteClient` wraps the
+service and adds round-trip latency with seeded jitter to every observed
+response time, so experiments can quantify how much network noise the
+4-query-averaging attack tolerates (the network ablation bench).
+
+Presets correspond to the paper's cited scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import SeededRng, make_rng
+from repro.system.responses import Response
+from repro.system.service import KVService
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Round-trip time model: base RTT plus lognormal jitter (us)."""
+
+    rtt_us: float
+    #: Standard deviation of the jitter added per request, in microseconds.
+    jitter_us: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.rtt_us < 0 or self.jitter_us < 0:
+            raise ConfigError("RTT and jitter must be non-negative")
+
+
+#: Same-host measurement (the paper's experimental setup).
+LOCALHOST = NetworkModel(rtt_us=0.0, jitter_us=0.0, name="localhost")
+#: LAN attacker: ~100 us RTT, sub-microsecond effective jitter after
+#: kernel bypass / careful measurement (Crosby et al.: 100 ns resolution).
+LAN = NetworkModel(rtt_us=100.0, jitter_us=1.0, name="lan")
+#: Same-datacenter cloud attacker (paper: "placing themselves in the
+#: datacenter hosting the target").
+DATACENTER = NetworkModel(rtt_us=500.0, jitter_us=5.0, name="datacenter")
+#: WAN attacker: tens of ms RTT; Crosby et al. resolve ~20 us differences.
+WAN = NetworkModel(rtt_us=40_000.0, jitter_us=15.0, name="wan")
+
+
+class RemoteClient:
+    """The attacker's view of the service across a network.
+
+    Responses are unchanged; observed response times gain RTT + jitter.
+    The jitter draws from this client's own seeded stream, so adding a
+    remote client never perturbs the server-side simulation.
+    """
+
+    def __init__(self, service: KVService, model: NetworkModel,
+                 rng: SeededRng = None) -> None:
+        self.service = service
+        self.model = model
+        self._rng = rng or make_rng(None, f"network/{model.name}")
+
+    def get(self, user: int, key: bytes) -> Response:
+        """Plain request (extension probes do not need timing)."""
+        return self.service.get(user, key)
+
+    def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """Request plus the response time as observed by the attacker."""
+        response, server_us = self.service.get_timed(user, key)
+        observed = server_us + self.model.rtt_us + self._noise()
+        return response, observed
+
+    def _noise(self) -> float:
+        if self.model.jitter_us == 0.0:
+            return 0.0
+        # One-sided (queueing-style) noise: delays add, never subtract.
+        return abs(self._rng.gauss(0.0, self.model.jitter_us))
+
+
+class RemoteServiceAdapter:
+    """Adapts a :class:`RemoteClient` to the ``KVService`` surface the
+    attack oracles consume (``get``/``get_timed``/``db``), so a remote
+    attacker plugs into :class:`~repro.core.oracle.TimingOracle` and
+    :func:`~repro.core.learning.learn_cutoff` unchanged.
+    """
+
+    def __init__(self, client: RemoteClient) -> None:
+        self._client = client
+        self.db = client.service.db
+        self.distinguish_unauthorized = client.service.distinguish_unauthorized
+
+    def get(self, user: int, key: bytes) -> Response:
+        """Forward a plain request."""
+        return self._client.get(user, key)
+
+    def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """Forward a timed request with network-observed latency."""
+        return self._client.get_timed(user, key)
+
+
+def remote_service(service: KVService, model: NetworkModel,
+                   seed: int = 0) -> RemoteServiceAdapter:
+    """Convenience constructor: service as seen from across ``model``."""
+    client = RemoteClient(service, model, make_rng(seed, f"net/{model.name}"))
+    return RemoteServiceAdapter(client)

@@ -1,0 +1,115 @@
+"""Request rate limiting — the paper's system-level mitigation (section 11).
+
+"A system can rate limit user requests, thereby slowing down prefix
+siphoning attacks.  This approach is viable only if the system is not
+meant to handle a high rate of normal, benign requests."
+
+The limiter is a token bucket per user over simulated time: a request
+that exceeds the sustained rate stalls until a token accrues, which
+inflates the *attack duration* without touching per-query timing — the
+response-time side channel stays fully intact, only the attacker's
+throughput collapses.  The mitigation bench quantifies exactly that:
+unchanged keys-extracted, massively inflated simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.system.responses import Response
+from repro.system.service import KVService
+
+
+@dataclass(frozen=True)
+class RateLimitPolicy:
+    """Token-bucket parameters."""
+
+    requests_per_second: float
+    burst: int = 32
+
+    def __post_init__(self) -> None:
+        if self.requests_per_second <= 0:
+            raise ConfigError("rate must be positive")
+        if self.burst < 1:
+            raise ConfigError("burst must be at least 1")
+
+
+class _Bucket:
+    __slots__ = ("tokens", "last_us")
+
+    def __init__(self, burst: int, now_us: float) -> None:
+        self.tokens = float(burst)
+        self.last_us = now_us
+
+
+class RateLimitedService:
+    """A :class:`KVService` facade that stalls over-rate users.
+
+    Exposes the same surface the attack oracles consume (``get``,
+    ``get_timed``, ``range_query_timed``, ``db``), so it drops into any
+    experiment as the service.  Stalls advance the simulated clock — the
+    cost the mitigation imposes is *time*, not errors.
+    """
+
+    def __init__(self, service: KVService, policy: RateLimitPolicy) -> None:
+        self.service = service
+        self.policy = policy
+        self.db = service.db
+        self.distinguish_unauthorized = service.distinguish_unauthorized
+        self._buckets: Dict[int, _Bucket] = {}
+        self.total_stall_us = 0.0
+        self.stalled_requests = 0
+
+    # ------------------------------------------------------------- throttling
+
+    def _admit(self, user: int) -> None:
+        clock = self.db.clock
+        bucket = self._buckets.get(user)
+        if bucket is None:
+            bucket = _Bucket(self.policy.burst, clock.now_us)
+            self._buckets[user] = bucket
+        rate = self.policy.requests_per_second / 1e6  # tokens per us
+        elapsed = clock.now_us - bucket.last_us
+        bucket.tokens = min(float(self.policy.burst),
+                            bucket.tokens + elapsed * rate)
+        bucket.last_us = clock.now_us
+        if bucket.tokens < 1.0:
+            stall = (1.0 - bucket.tokens) / rate
+            clock.charge(stall)
+            self.total_stall_us += stall
+            self.stalled_requests += 1
+            bucket.tokens = 1.0
+            bucket.last_us = clock.now_us
+        bucket.tokens -= 1.0
+
+    # ---------------------------------------------------------------- surface
+
+    def get(self, user: int, key: bytes) -> Response:
+        """Throttled point request."""
+        self._admit(user)
+        return self.service.get(user, key)
+
+    def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """Throttled point request; the observed time *excludes* the stall.
+
+        The stall happens before dispatch (the client is queued), so the
+        response time the attacker measures — request sent to response
+        received — still reflects only the service's processing, keeping
+        the side channel intact while throughput collapses.
+        """
+        self._admit(user)
+        return self.service.get_timed(user, key)
+
+    def range_query(self, user: int, low: bytes, high: bytes,
+                    limit: Optional[int] = None):
+        """Throttled range request."""
+        self._admit(user)
+        return self.service.range_query(user, low, high, limit=limit)
+
+    def range_query_timed(self, user: int, low: bytes, high: bytes,
+                          limit: Optional[int] = None):
+        """Throttled timed range request (stall excluded, as in get_timed)."""
+        self._admit(user)
+        return self.service.range_query_timed(user, low, high, limit=limit)

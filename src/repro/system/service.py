@@ -1,0 +1,118 @@
+"""The high-level system of the threat model (paper section 4).
+
+A :class:`KVService` fronts the LSM-tree like an object store or database
+would: users issue requests through it (never touching the store
+directly), and it checks the per-key ACL embedded in each value before
+releasing data.  Crucially — and this is the property prefix siphoning
+exploits — the service must *read the value to learn the ACL*, so the
+key-value store performs the full filter-then-maybe-I/O dance for every
+request, authorized or not, and the store's response time shows through in
+the service's response time.
+
+``distinguish_unauthorized`` controls whether clients can tell "no such
+key" from "no permission".  Systems that distinguish (most REST APIs: 404
+vs 403) enable full-key extraction; systems that do not still leak
+prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ServiceError
+from repro.lsm.db import LSMTree
+from repro.system.acl import Acl, pack_value, unpack_value
+from repro.system.responses import Response, Status
+
+#: Simulated cost of request parsing/dispatch in the service layer.
+REQUEST_OVERHEAD_US = 1.0
+#: Simulated cost of the ACL check on a value.
+ACL_CHECK_US = 0.3
+
+
+@dataclass
+class ServiceStats:
+    """Request counters by outcome."""
+
+    requests: int = 0
+    ok: int = 0
+    not_found: int = 0
+    unauthorized: int = 0
+
+
+class KVService:
+    """ACL-enforcing facade over an :class:`LSMTree`."""
+
+    def __init__(self, db: LSMTree, distinguish_unauthorized: bool = True) -> None:
+        self.db = db
+        self.distinguish_unauthorized = distinguish_unauthorized
+        self.stats = ServiceStats()
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, user: int, key: bytes, payload: bytes,
+            acl: Optional[Acl] = None) -> Response:
+        """Store an object owned by ``user`` (or an explicit ACL)."""
+        record_acl = acl or Acl(owner=user)
+        if not record_acl.allows_read(user) and record_acl.owner != user:
+            raise ServiceError("cannot create an object its owner cannot read")
+        self.db.put(key, pack_value(record_acl, payload))
+        return Response(Status.OK)
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, user: int, key: bytes) -> Response:
+        """Read an object, enforcing its ACL.
+
+        The failure statuses follow the threat model: NOT_FOUND vs
+        UNAUTHORIZED when the system distinguishes them, a single FAILED
+        otherwise.
+        """
+        self.stats.requests += 1
+        self.db.charge_cost(REQUEST_OVERHEAD_US)
+        stored = self.db.get(key)
+        if stored is None:
+            self.stats.not_found += 1
+            return Response(self._failure(Status.NOT_FOUND))
+        self.db.charge_cost(ACL_CHECK_US)
+        acl, payload = unpack_value(stored)
+        if not acl.allows_read(user):
+            self.stats.unauthorized += 1
+            return Response(self._failure(Status.UNAUTHORIZED))
+        self.stats.ok += 1
+        return Response(Status.OK, payload)
+
+    def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """``get`` plus the simulated response time the client observes."""
+        with self.db.clock.measure() as stopwatch:
+            response = self.get(user, key)
+        return response, stopwatch.elapsed_us
+
+    def range_query(self, user: int, low: bytes, high: bytes,
+                    limit: Optional[int] = None):
+        """Range read returning only the entries ``user`` may see."""
+        out = []
+        for key, stored in self.db.range_query(low, high, limit=None):
+            acl, payload = unpack_value(stored)
+            self.db.charge_cost(ACL_CHECK_US)
+            if acl.allows_read(user):
+                out.append((key, payload))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def range_query_timed(self, user: int, low: bytes, high: bytes,
+                          limit: Optional[int] = None):
+        """``range_query`` plus the client-observed response time.
+
+        Range responses only list entries the user may read, but the
+        *response time* still reflects the store's range-filter decisions
+        and I/O — the side channel the range-descent attack exploits.
+        """
+        with self.db.clock.measure() as stopwatch:
+            out = self.range_query(user, low, high, limit=limit)
+        return out, stopwatch.elapsed_us
+
+    def _failure(self, status: Status) -> Status:
+        return status if self.distinguish_unauthorized else Status.FAILED

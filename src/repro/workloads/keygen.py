@@ -1,0 +1,167 @@
+"""Key generators for datasets and attack candidates.
+
+The paper's datasets are uniformly random fixed-width keys derived with
+SHA1 (section 10.1) — the *worst case* for the attack (section 8), since
+skewed distributions only help the attacker.  Generators for skewed and
+variable-length string keys are provided for the extension experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from repro.common.errors import ConfigError
+from repro.common.keys import sha1_key
+from repro.common.rng import make_rng
+
+
+class UniformKeyGenerator:
+    """Uniformly random fixed-width keys (attack candidate stream)."""
+
+    def __init__(self, width: int, seed: int = 0, name: str = "uniform") -> None:
+        if width <= 0:
+            raise ConfigError(f"key width must be positive, got {width}")
+        self.width = width
+        self._rng = make_rng(seed, name)
+
+    def next_key(self) -> bytes:
+        """One fresh random key."""
+        return self._rng.random_bytes(self.width)
+
+    def keys(self, count: int) -> Iterator[bytes]:
+        """A stream of ``count`` random keys (duplicates possible)."""
+        for _ in range(count):
+            yield self.next_key()
+
+
+def sha1_dataset(num_keys: int, width: int, seed: int = 0) -> List[bytes]:
+    """The paper's dataset: ``num_keys`` distinct SHA1-derived keys.
+
+    Deterministic in (num_keys, width, seed); sorted ascending, ready for
+    ``bulk_load``.  Collisions (astronomically unlikely at reproduction
+    scales) are resolved by extending the index space.
+    """
+    if num_keys < 0:
+        raise ConfigError("num_keys must be non-negative")
+    namespace = f"dataset/{seed}".encode()
+    seen = set()
+    index = 0
+    while len(seen) < num_keys:
+        seen.add(sha1_key(index, width, namespace))
+        index += 1
+    return sorted(seen)
+
+
+def clustered_dataset(num_keys: int, width: int, num_clusters: int = 64,
+                      cluster_prefix_len: int = 2, seed: int = 0
+                      ) -> List[bytes]:
+    """Structured keys: a few shared cluster prefixes plus random tails.
+
+    Models real identifier spaces (tenant ids, table ids, time buckets)
+    whose prefixes are far from uniform.  Section 8 predicts such skew
+    only *helps* the attacker: SuRF must store longer pruned prefixes, so
+    identified prefixes get longer and extension gets cheaper.  The
+    cluster prefixes themselves are SHA1-derived and deterministic in the
+    seed, so experiments can model a prefix-aware attacker.
+    """
+    if num_keys < 0:
+        raise ConfigError("num_keys must be non-negative")
+    if not 0 < cluster_prefix_len < width:
+        raise ConfigError("cluster prefix must be shorter than the key")
+    if num_clusters <= 0:
+        raise ConfigError("need at least one cluster")
+    prefixes = cluster_prefixes(num_clusters, cluster_prefix_len, seed)
+    rng = make_rng(seed, "clustered")
+    tail = width - cluster_prefix_len
+    out = set()
+    while len(out) < num_keys:
+        prefix = prefixes[rng.randrange(num_clusters)]
+        out.add(prefix + rng.random_bytes(tail))
+    return sorted(out)
+
+
+def cluster_prefixes(num_clusters: int, cluster_prefix_len: int = 2,
+                     seed: int = 0) -> List[bytes]:
+    """The (publicly knowable) cluster prefixes of a clustered dataset."""
+    seen = []
+    index = 0
+    while len(seen) < num_clusters:
+        prefix = sha1_key(index, cluster_prefix_len, f"clusters/{seed}".encode())
+        index += 1
+        if prefix not in seen:
+            seen.append(prefix)
+    return sorted(seen)
+
+
+class ZipfKeyGenerator:
+    """Zipf-skewed keys over a fixed universe (skewed-workload extension).
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``1/r**exponent``; the key for rank ``r`` is SHA1-derived, so the hot
+    keys are scattered uniformly across the key space, as in real caches.
+    """
+
+    def __init__(self, universe: int, width: int, exponent: float = 1.1,
+                 seed: int = 0) -> None:
+        if universe <= 0:
+            raise ConfigError("universe size must be positive")
+        if exponent <= 0:
+            raise ConfigError("zipf exponent must be positive")
+        self.universe = universe
+        self.width = width
+        self.exponent = exponent
+        self._rng = make_rng(seed, "zipf")
+        # Inverse-CDF sampling over precomputed cumulative weights.
+        weights = [1.0 / (r ** exponent) for r in range(1, universe + 1)]
+        total = math.fsum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        self._cumulative = cumulative
+
+    def next_key(self) -> bytes:
+        """One Zipf-distributed key."""
+        u = self._rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return sha1_key(lo, self.width, b"zipf")
+
+
+class StringKeyGenerator:
+    """Variable-length ASCII keys (object-store names, DB row keys).
+
+    Keys look like ``<bucket>/<object>-<counter>``: realistic shared
+    prefixes, exactly the structure SuRF prunes well and the attack then
+    reveals.
+    """
+
+    _BUCKETS = ["invoices", "payroll", "users", "media", "logs", "backups"]
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed, "strings")
+        self._counter = 0
+
+    def next_key(self) -> bytes:
+        """One fresh hierarchical string key."""
+        bucket = self._rng.choice(self._BUCKETS)
+        token = "".join(
+            chr(ord("a") + self._rng.randrange(26))
+            for _ in range(self._rng.randint(4, 10))
+        )
+        self._counter += 1
+        return f"{bucket}/{token}-{self._counter:06d}".encode()
+
+    def keys(self, count: int) -> List[bytes]:
+        """``count`` distinct keys, sorted."""
+        out = set()
+        while len(out) < count:
+            out.add(self.next_key())
+        return sorted(out)

@@ -1,0 +1,76 @@
+"""Distribution breakdown and classifier-quality tests."""
+
+import pytest
+
+from repro.analysis.distribution import (
+    breakdown_by_type,
+    classifier_quality,
+    slow_mode_share,
+)
+from repro.common.errors import ConfigError
+
+
+@pytest.fixture()
+def labelled_samples():
+    # 100 fast negatives at 7us, 10 slow positives at 30us, one slow
+    # negative (noise) and one fast positive (cached FP).
+    samples = [7.0] * 100 + [30.0] * 10 + [30.0] + [7.0]
+    labels = [False] * 100 + [True] * 10 + [False] + [True]
+    return samples, labels
+
+
+class TestBreakdown:
+    def test_counts_per_bucket(self, labelled_samples):
+        samples, labels = labelled_samples
+        rows = breakdown_by_type(samples, labels, 5.0, 25.0)
+        by_label = {r.label: r for r in rows}
+        assert by_label["5 - 10"].negatives == 100
+        assert by_label["5 - 10"].false_positives == 1
+        assert by_label[">= 25"].false_positives == 10
+        assert by_label[">= 25"].negatives == 1
+
+    def test_fp_percent(self, labelled_samples):
+        samples, labels = labelled_samples
+        rows = breakdown_by_type(samples, labels, 5.0, 25.0)
+        top = [r for r in rows if r.label == ">= 25"][0]
+        assert top.fp_percent == pytest.approx(100 * 10 / 11)
+
+    def test_empty_bucket_percent(self):
+        rows = breakdown_by_type([], [], 5.0, 25.0)
+        assert all(r.fp_percent == 0.0 for r in rows)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ConfigError):
+            breakdown_by_type([1.0], [], 5.0, 25.0)
+
+
+class TestClassifierQuality:
+    def test_perfect_cutoff(self):
+        samples = [5.0, 6.0, 30.0, 31.0]
+        labels = [False, False, True, True]
+        quality = classifier_quality(samples, labels, 15.0)
+        assert quality["true_positive_rate"] == 1.0
+        assert quality["false_positive_rate"] == 0.0
+        assert quality["accuracy"] == 1.0
+
+    def test_cutoff_inside_fast_mode(self, labelled_samples):
+        samples, labels = labelled_samples
+        quality = classifier_quality(samples, labels, 6.0)
+        assert quality["false_positive_rate"] == 1.0  # everything "slow"
+
+    def test_cutoff_above_slow_mode(self, labelled_samples):
+        samples, labels = labelled_samples
+        quality = classifier_quality(samples, labels, 100.0)
+        assert quality["true_positive_rate"] == 0.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ConfigError):
+            classifier_quality([1.0], [], 5.0)
+
+
+class TestSlowModeShare:
+    def test_share(self):
+        assert slow_mode_share([1.0, 2.0, 30.0, 40.0], 25.0) == 0.5
+
+    def test_empty(self):
+        assert slow_mode_share([], 25.0) == 0.0

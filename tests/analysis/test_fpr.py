@@ -1,0 +1,52 @@
+"""Empirical FPR measurement tests."""
+
+import pytest
+
+from repro.analysis.fpr import leaf_depth_distribution, measure_random_fpr
+from repro.analysis.theory import analyze_surf_attack
+from repro.common.errors import ConfigError
+from repro.filters.surf import SuRF, SurfVariant
+from repro.workloads.keygen import sha1_dataset
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return sha1_dataset(20_000, 5, seed=6)
+
+
+class TestMeasureRandomFpr:
+    def test_real_fpr_matches_theory(self, keys):
+        filt = SuRF.build(keys, variant="real", suffix_bits=8)
+        measured = measure_random_fpr(filt, set(keys), 5, num_queries=60_000,
+                                      seed=7)
+        predicted = analyze_surf_attack(len(keys), 5, SurfVariant.REAL, 8,
+                                        guesses=1).fpr
+        assert measured.fpr == pytest.approx(predicted, rel=0.5, abs=5e-4)
+
+    def test_base_fpr_much_higher(self, keys):
+        base = SuRF.build(keys, variant="base")
+        real = SuRF.build(keys, variant="real", suffix_bits=8)
+        base_fpr = measure_random_fpr(base, set(keys), 5, 20_000, seed=8).fpr
+        real_fpr = measure_random_fpr(real, set(keys), 5, 20_000, seed=8).fpr
+        assert base_fpr > 50 * real_fpr
+
+    def test_invalid_queries(self, keys):
+        filt = SuRF.build(keys[:10], variant="base")
+        with pytest.raises(ConfigError):
+            measure_random_fpr(filt, set(), 5, num_queries=0)
+
+    def test_empty_measurement(self):
+        from repro.analysis.fpr import FprMeasurement
+        assert FprMeasurement(0, 0).fpr == 0.0
+
+
+class TestLeafDepths:
+    def test_distribution_sums_to_n(self, keys):
+        depths = leaf_depth_distribution(keys)
+        assert sum(depths.values()) == len(keys)
+
+    def test_depths_concentrate_at_two_and_three(self, keys):
+        # 20k keys: byte-2 prefixes hold ~0.3 keys each, so pruned depths
+        # split between 2 and 3.
+        depths = leaf_depth_distribution(keys)
+        assert depths.get(2, 0) + depths.get(3, 0) > 0.95 * len(keys)

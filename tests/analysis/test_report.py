@@ -1,0 +1,56 @@
+"""Report formatting helpers (bench output plumbing)."""
+
+from repro.bench.report import ExperimentReport, downsample, format_report, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table([{"name": "a", "count": 12345},
+                             {"name": "bb", "count": 7}])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "count" in lines[0]
+        assert "12,345" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_rendering(self):
+        text = format_table([{"v": 0.00123}, {"v": 2.5e7},
+                             {"v": float("inf")}, {"v": float("nan")}])
+        assert "0.00123" in text
+        assert "2.5e+07" in text
+        assert "inf" in text and "nan" in text
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        series = [(1, 1), (2, 2)]
+        assert downsample(series, 10) == series
+
+    def test_keeps_endpoints(self):
+        series = [(i, i) for i in range(100)]
+        thin = downsample(series, 8)
+        assert len(thin) <= 8
+        assert thin[0] == (0, 0)
+        assert thin[-1] == (99, 99)
+
+    def test_monotone_selection(self):
+        series = [(i, i * i) for i in range(50)]
+        thin = downsample(series, 5)
+        xs = [x for x, _ in thin]
+        assert xs == sorted(xs)
+
+
+class TestFormatReport:
+    def test_contains_all_sections(self):
+        report = ExperimentReport(
+            experiment="x", title="Title", paper_claim="Claim",
+            scale_note="Scale", rows=[{"a": 1}],
+            series={"s": [(1.0, 2.0)]}, summary={"k": 3})
+        text = format_report(report)
+        for fragment in ("x: Title", "Claim", "Scale", "series s", "k: 3"):
+            assert fragment in text

@@ -1,0 +1,130 @@
+"""Section-8 closed-form analysis tests, anchored to the paper's numbers."""
+
+import pytest
+
+from repro.analysis.fpr import leaf_depth_distribution
+from repro.analysis.theory import (
+    analyze_pbf_attack,
+    analyze_surf_attack,
+    expected_leaves_by_depth,
+    lcp_at_least,
+    paper_scale_summary,
+)
+from repro.common.errors import ConfigError
+from repro.filters.surf.suffix import SurfVariant
+from repro.workloads.keygen import sha1_dataset
+
+
+class TestLcpModel:
+    def test_monotone_in_depth(self):
+        probs = [lcp_at_least(j, 50_000) for j in range(6)]
+        assert probs == sorted(probs, reverse=True)
+        assert probs[0] == 1.0
+
+    def test_grows_with_dataset(self):
+        assert lcp_at_least(3, 1_000_000) > lcp_at_least(3, 1_000)
+
+    def test_leaves_sum_to_n(self):
+        leaves = expected_leaves_by_depth(50_000, 5)
+        assert sum(leaves.values()) == pytest.approx(50_000, rel=1e-6)
+
+    def test_matches_empirical_depths(self):
+        keys = sha1_dataset(20_000, 5, seed=5)
+        empirical = leaf_depth_distribution(keys)
+        predicted = expected_leaves_by_depth(20_000, 5)
+        for depth in (2, 3):
+            assert empirical.get(depth, 0) == pytest.approx(
+                predicted.get(depth, 0), rel=0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            expected_leaves_by_depth(0, 5)
+
+
+class TestSurfAnalysisPaperScale:
+    """Anchor the closed forms to section 10's reported numbers."""
+
+    @pytest.fixture(scope="class")
+    def paper(self):
+        return analyze_surf_attack(
+            num_keys=50_000_000, key_width=8, variant=SurfVariant.REAL,
+            suffix_bits=8, guesses=10_000_000,
+            max_extension_queries=1 << 24)
+
+    def test_extracted_matches_fig5(self, paper):
+        # Paper: 375-423 keys per 50M-key set from 10M guesses.
+        assert 300 <= paper.expected_extracted <= 500
+
+    def test_queries_per_key_matches_fig5(self, paper):
+        # Paper: converges to ~9M queries/key (~2^23).
+        assert 6e6 <= paper.queries_per_key <= 13e6
+
+    def test_reduction_factor_matches_section_10_3_1(self, paper):
+        # Paper: 40992x better than brute force.
+        assert 2e4 <= paper.reduction_factor <= 9e4
+
+    def test_monotone_in_dataset_size(self):
+        # The Figure 6 trend: bigger dataset, more keys extracted.
+        extracted = [
+            analyze_surf_attack(n, 8, SurfVariant.REAL, 8,
+                                guesses=10_000_000,
+                                max_extension_queries=1 << 24
+                                ).expected_extracted
+            for n in (10_000_000, 30_000_000, 50_000_000)
+        ]
+        assert extracted == sorted(extracted)
+
+
+class TestPbfAnalysisPaperScale:
+    def test_expected_prefix_fps_matches_section_10_4(self):
+        # Paper: 1M * 50M / 2^40 = 45.4 expected prefix FPs.
+        analysis = analyze_pbf_attack(50_000_000, 8, prefix_len=5,
+                                      guesses=1_000_000)
+        assert analysis.expected_prefix_fps == pytest.approx(45.4, rel=0.02)
+
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ConfigError):
+            analyze_pbf_attack(1000, 4, prefix_len=4, guesses=100)
+
+
+class TestPaperSummary:
+    def test_summary_rows(self):
+        rows = paper_scale_summary()
+        assert len(rows) == 2
+        surf, pbf = rows
+        # Section 10.4: PBF costs ~20x more queries/key than SuRF.
+        ratio = pbf["queries_per_key"] / surf["queries_per_key"]
+        assert 10 <= ratio <= 40
+        # "still three orders of magnitude better than brute force"
+        assert pbf["reduction_factor"] > 1e3
+
+
+class TestRangeAttackAnalysis:
+    def test_matches_measured_order_of_magnitude(self):
+        # Measured (tests/core/test_range_attack.py scale): ~35-50k
+        # queries/key at n=10k, width 5.
+        from repro.analysis.theory import analyze_range_attack
+        analysis = analyze_range_attack(10_000, 5)
+        assert 10_000 <= analysis.queries_per_key <= 120_000
+
+    def test_reaches_essentially_all_keys(self):
+        from repro.analysis.theory import analyze_range_attack
+        analysis = analyze_range_attack(10_000, 5)
+        assert analysis.expected_extracted > 0.95 * 10_000
+
+    def test_paper_scale_same_cost_as_point_but_total_coverage(self):
+        # The extension's headline: at the paper's 50M x 64-bit scale the
+        # walk costs about the same per key as the point attack (~8-9M)
+        # but reaches ~95% of the dataset instead of ~400 keys.
+        from repro.analysis.theory import analyze_range_attack
+        analysis = analyze_range_attack(50_000_000, 8,
+                                        max_extension_queries=1 << 24)
+        assert 4e6 <= analysis.queries_per_key <= 2e7
+        assert analysis.expected_extracted > 0.9 * 50_000_000
+
+    def test_internal_nodes_monotone_then_vanish(self):
+        from repro.analysis.theory import expected_internal_nodes_by_depth
+        nodes = expected_internal_nodes_by_depth(50_000, 5)
+        assert nodes[0] == pytest.approx(1.0, abs=0.01)  # the root
+        assert nodes[1] == pytest.approx(256.0, rel=0.01)
+        assert nodes.get(4, 0.0) < 1.0  # no branching that deep

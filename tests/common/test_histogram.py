@@ -1,0 +1,71 @@
+"""Histogram bucketing and cutoff derivation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.histogram import Histogram, derive_cutoff
+
+
+class TestBucketing:
+    def test_basic_bucketing(self):
+        hist = Histogram(5.0, 25.0)
+        hist.extend([0.0, 4.9, 5.0, 12.0, 24.9, 25.0, 100.0])
+        counts = [b.count for b in hist.buckets()]
+        assert counts == [2, 1, 1, 0, 1, 2]
+        assert hist.total == 7
+
+    def test_negative_sample_clamps(self):
+        hist = Histogram(5.0, 25.0)
+        hist.add(-1.0)
+        assert hist.buckets()[0].count == 1
+
+    def test_percentages_sum_to_100(self):
+        hist = Histogram(5.0, 25.0)
+        hist.extend([1.0, 6.0, 30.0, 30.0])
+        assert sum(p for _, p in hist.percentages()) == pytest.approx(100.0)
+
+    def test_empty_percentages(self):
+        hist = Histogram(5.0, 25.0)
+        assert all(p == 0.0 for _, p in hist.percentages())
+
+    def test_table_labels_match_paper_style(self):
+        hist = Histogram(5.0, 25.0)
+        rows = hist.as_table()
+        assert rows[0]["bucket"] == "< 5"
+        assert rows[1]["bucket"] == "5 - 10"
+        assert rows[-1]["bucket"] == ">= 25"
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            Histogram(0.0, 25.0)
+        with pytest.raises(ConfigError):
+            Histogram(5.0, 27.0)  # not a multiple
+
+    @given(st.lists(st.floats(min_value=0, max_value=200,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_total_matches_samples(self, samples):
+        hist = Histogram(5.0, 25.0)
+        hist.extend(samples)
+        assert hist.total == len(samples)
+        assert sum(b.count for b in hist.buckets()) == len(samples)
+
+
+class TestDeriveCutoff:
+    def test_bimodal_separation(self):
+        # Fast mode around 7us, slow mode around 30us.
+        samples = [7.0] * 1000 + [8.0] * 500 + [30.0] * 20 + [32.0] * 10
+        cutoff = derive_cutoff(samples, 5.0, 50.0)
+        assert 10.0 <= cutoff <= 30.0
+        assert all(s < cutoff for s in samples if s < 10)
+        assert all(s >= cutoff for s in samples if s >= 30)
+
+    def test_no_slow_mode_returns_high_cutoff(self):
+        samples = [7.0] * 1000
+        cutoff = derive_cutoff(samples, 5.0, 50.0)
+        assert cutoff >= 10.0  # everything classifies negative
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            derive_cutoff([], 5.0, 25.0)

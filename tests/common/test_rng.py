@@ -1,0 +1,57 @@
+"""Seeded RNG stream tests."""
+
+from repro.common.rng import SeededRng, make_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(5).random_bytes(16)
+        b = SeededRng(5).random_bytes(16)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(5).random_bytes(16) != SeededRng(6).random_bytes(16)
+
+    def test_named_streams_differ(self):
+        assert (SeededRng(5, "a").random_bytes(16)
+                != SeededRng(5, "b").random_bytes(16))
+
+
+class TestSpawn:
+    def test_children_independent_of_parent_consumption(self):
+        parent1 = SeededRng(7)
+        parent2 = SeededRng(7)
+        parent2.random()  # consuming the parent must not perturb children
+        assert (parent1.spawn("x").random_bytes(8)
+                == parent2.spawn("x").random_bytes(8))
+
+    def test_children_differ_by_name(self):
+        parent = SeededRng(7)
+        assert (parent.spawn("x").random_bytes(8)
+                != parent.spawn("y").random_bytes(8))
+
+
+class TestHelpers:
+    def test_random_bytes_length(self):
+        rng = SeededRng(1)
+        assert len(rng.random_bytes(0)) == 0
+        assert len(rng.random_bytes(5)) == 5
+
+    def test_randint_bounds(self):
+        rng = SeededRng(1)
+        values = {rng.randint(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_randrange_bounds(self):
+        rng = SeededRng(1)
+        assert all(0 <= rng.randrange(4) < 4 for _ in range(100))
+
+    def test_make_rng_none_seed_is_fixed(self):
+        assert make_rng(None).random_bytes(8) == make_rng(None).random_bytes(8)
+
+    def test_shuffle_and_sample(self):
+        rng = SeededRng(3)
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+        assert len(rng.sample(range(10), 3)) == 3

@@ -1,0 +1,34 @@
+"""Shared fixtures: small, deterministic environments built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters import SuRFBuilder
+from repro.workloads import DatasetConfig, build_environment
+from repro.workloads.keygen import sha1_dataset
+
+
+@pytest.fixture(scope="session")
+def small_keys():
+    """2000 sorted 40-bit SHA1 keys."""
+    return sha1_dataset(2000, 5, seed=1)
+
+
+@pytest.fixture(scope="session")
+def surf_env():
+    """A small attacked system with SuRF-Real (shared, read-only)."""
+    return build_environment(DatasetConfig(
+        num_keys=8000, key_width=5, seed=2,
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+    ))
+
+
+@pytest.fixture(scope="session")
+def surf_env_hidden():
+    """Same system but hiding the unauthorized/not-found distinction."""
+    return build_environment(DatasetConfig(
+        num_keys=8000, key_width=5, seed=2,
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+        distinguish_unauthorized=False,
+    ))

@@ -1,0 +1,48 @@
+"""Brute-force baseline tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.bruteforce import (
+    brute_force_attack,
+    expected_bruteforce_queries_per_key,
+)
+from repro.workloads.datasets import ATTACKER_USER
+
+
+class TestBruteForce:
+    def test_large_space_finds_nothing(self, surf_env):
+        # 8000 keys in a 2^40 space: 20k guesses expect ~1.8e-4 hits.
+        result = brute_force_attack(surf_env.service, ATTACKER_USER,
+                                    key_width=5, max_queries=20_000, seed=1)
+        assert result.queries == 20_000
+        assert result.num_found == 0
+        assert result.queries_per_key() == float("inf")
+
+    def test_tiny_space_finds_keys(self):
+        from repro.lsm import LSMTree, LSMOptions
+        from repro.system import KVService
+        db = LSMTree(LSMOptions())
+        service = KVService(db)
+        for i in range(200):
+            service.put(1, bytes([i]), b"v")
+        result = brute_force_attack(service, ATTACKER_USER, key_width=1,
+                                    max_queries=2000, seed=2)
+        assert result.num_found > 100
+        assert result.queries_per_key() < 30
+        # found keys are deduplicated
+        assert len(result.found) == len(set(result.found))
+
+    def test_invalid_budget(self, surf_env):
+        with pytest.raises(ConfigError):
+            brute_force_attack(surf_env.service, ATTACKER_USER, 5, 0)
+
+
+class TestExpectedCost:
+    def test_formula(self):
+        assert expected_bruteforce_queries_per_key(5, 50_000) == pytest.approx(
+            (256**5) / 50_000)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ConfigError):
+            expected_bruteforce_queries_per_key(5, 0)

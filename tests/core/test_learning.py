@@ -1,0 +1,92 @@
+"""Learning-phase tests (paper section 5.3.1)."""
+
+import pytest
+
+from repro.common.errors import LearningError
+from repro.core.learning import learn_cutoff
+from repro.core.results import STAGE_LEARNING, QueryCounter
+from repro.workloads.datasets import ATTACKER_USER
+
+
+class TestLearnCutoff:
+    def test_cutoff_separates_modes(self, surf_env):
+        learning = learn_cutoff(surf_env.service, ATTACKER_USER, 5,
+                                num_samples=8000,
+                                background=surf_env.background)
+        # Fast mode is ~7us, slow mode is >=20us: the cutoff sits between.
+        assert 10.0 <= learning.cutoff_us <= 25.0
+
+    def test_histogram_dominated_by_fast_mode(self, surf_env):
+        learning = learn_cutoff(surf_env.service, ATTACKER_USER, 5,
+                                num_samples=5000,
+                                background=surf_env.background)
+        rows = learning.histogram.as_table()
+        fast_mass = sum(r["percent"] for r in rows[:2])
+        assert fast_mass > 90.0  # paper Table 1: ~89% below 10us
+
+    def test_positive_fraction_small(self, surf_env):
+        learning = learn_cutoff(surf_env.service, ATTACKER_USER, 5,
+                                num_samples=5000,
+                                background=surf_env.background)
+        assert learning.positive_fraction() < 0.05
+
+    def test_counter_attribution(self, surf_env):
+        counter = QueryCounter()
+        learn_cutoff(surf_env.service, ATTACKER_USER, 5, num_samples=500,
+                     background=surf_env.background, counter=counter)
+        assert counter.by_stage == {STAGE_LEARNING: 500}
+
+    def test_too_few_samples_rejected(self, surf_env):
+        with pytest.raises(LearningError):
+            learn_cutoff(surf_env.service, ATTACKER_USER, 5, num_samples=10)
+
+    def test_deterministic_across_identical_environments(self):
+        from repro.filters import SuRFBuilder
+        from repro.workloads import DatasetConfig, build_environment
+
+        def fresh_run():
+            env = build_environment(DatasetConfig(
+                num_keys=2000, key_width=5, seed=33,
+                filter_builder=SuRFBuilder(variant="real")))
+            return learn_cutoff(env.service, ATTACKER_USER, 5,
+                                num_samples=500, seed=7)
+
+        a, b = fresh_run(), fresh_run()
+        assert a.cutoff_us == b.cutoff_us
+        assert a.samples == b.samples
+
+
+class TestFineCutoff:
+    def test_fine_cutoff_separates_cached_positives(self, surf_env):
+        from repro.core.learning import learn_fine_cutoff
+        from repro.core.oracle import FineTimingOracle
+        from repro.common.rng import make_rng
+        learning = learn_fine_cutoff(surf_env.service, ATTACKER_USER, 5,
+                                     num_keys=800, rounds=12)
+        # The cutoff sits above the negative mode (~7us) and below the
+        # coarse I/O mode (~25us).
+        assert 7.0 < learning.cutoff_us < 20.0
+        oracle = FineTimingOracle(surf_env.service, ATTACKER_USER,
+                                  cutoff_us=learning.cutoff_us)
+        rng = make_rng(61, "fine")
+        probes = [rng.random_bytes(5) for _ in range(600)]
+        truth = [surf_env.db.filters_pass(p) for p in probes]
+        verdicts = oracle.classify(probes)
+        agreement = sum(v == t for v, t in zip(verdicts, truth)) / len(probes)
+        assert agreement > 0.98
+
+    def test_fine_learning_counts_queries(self, surf_env):
+        from repro.core.learning import learn_fine_cutoff
+        from repro.core.results import QueryCounter, STAGE_LEARNING
+        counter = QueryCounter()
+        learn_fine_cutoff(surf_env.service, ATTACKER_USER, 5,
+                          num_keys=150, rounds=4, counter=counter)
+        assert counter.by_stage[STAGE_LEARNING] == 150 * 5
+
+    def test_fine_learning_validation(self, surf_env):
+        from repro.core.learning import learn_fine_cutoff
+        with pytest.raises(LearningError):
+            learn_fine_cutoff(surf_env.service, ATTACKER_USER, 5, num_keys=5)
+        with pytest.raises(LearningError):
+            learn_fine_cutoff(surf_env.service, ATTACKER_USER, 5,
+                              num_keys=200, rounds=1)

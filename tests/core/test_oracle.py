@@ -1,0 +1,104 @@
+"""Oracle tests: idealized exactness, timing classification, accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.core.learning import learn_cutoff
+from repro.core.oracle import IdealizedOracle, TimingOracle
+from repro.system.responses import Status
+from repro.workloads.datasets import ATTACKER_USER
+
+
+@pytest.fixture(scope="module")
+def probes(surf_env):
+    rng = make_rng(41, "oracle-probes")
+    return [rng.random_bytes(5) for _ in range(2000)]
+
+
+class TestIdealizedOracle:
+    def test_matches_ground_truth(self, surf_env, probes):
+        oracle = IdealizedOracle(surf_env.service, ATTACKER_USER)
+        verdicts = oracle.classify(probes)
+        truth = [surf_env.db.filters_pass(p) for p in probes]
+        assert verdicts == truth
+
+    def test_counts_one_query_per_key(self, surf_env, probes):
+        oracle = IdealizedOracle(surf_env.service, ATTACKER_USER)
+        oracle.classify(probes)
+        assert oracle.counter.total == len(probes)
+
+    def test_probe_statuses(self, surf_env):
+        oracle = IdealizedOracle(surf_env.service, ATTACKER_USER)
+        assert oracle.probe(surf_env.keys[0]) is Status.UNAUTHORIZED
+        assert oracle.probe(b"\x00" * 5) in (Status.NOT_FOUND,
+                                             Status.UNAUTHORIZED)
+        assert oracle.counter.total == 2
+
+
+class TestTimingOracle:
+    def test_classification_accuracy(self, surf_env, probes):
+        learning = learn_cutoff(surf_env.service, ATTACKER_USER, 5,
+                                num_samples=5000,
+                                background=surf_env.background)
+        oracle = TimingOracle(surf_env.service, ATTACKER_USER,
+                              cutoff_us=learning.cutoff_us, rounds=4,
+                              background=surf_env.background)
+        verdicts = oracle.classify(probes)
+        truth = [surf_env.db.filters_pass(p) for p in probes]
+        agreement = sum(v == t for v, t in zip(verdicts, truth)) / len(probes)
+        assert agreement > 0.98
+
+    def test_counts_rounds_queries(self, surf_env, probes):
+        oracle = TimingOracle(surf_env.service, ATTACKER_USER,
+                              cutoff_us=15.0, rounds=4,
+                              background=surf_env.background)
+        oracle.classify(probes[:100])
+        assert oracle.counter.total == 400
+
+    def test_waits_advance_sim_time(self, surf_env):
+        oracle = TimingOracle(surf_env.service, ATTACKER_USER,
+                              cutoff_us=15.0, rounds=2,
+                              background=surf_env.background,
+                              wait_us=50_000.0)
+        before = surf_env.clock.now_us
+        oracle.classify([b"\x01" * 5] * 10)
+        # one inter-round wait of 50ms plus query time
+        assert surf_env.clock.now_us - before >= 50_000.0
+
+    def test_invalid_config(self, surf_env):
+        with pytest.raises(ConfigError):
+            TimingOracle(surf_env.service, ATTACKER_USER, cutoff_us=0.0)
+        with pytest.raises(ConfigError):
+            TimingOracle(surf_env.service, ATTACKER_USER, cutoff_us=10.0,
+                         rounds=0)
+
+
+class TestFineTimingOracle:
+    def test_rejects_bad_config(self, surf_env):
+        from repro.core.oracle import FineTimingOracle
+        with pytest.raises(ConfigError):
+            FineTimingOracle(surf_env.service, ATTACKER_USER, cutoff_us=0.0)
+        with pytest.raises(ConfigError):
+            FineTimingOracle(surf_env.service, ATTACKER_USER, cutoff_us=8.0,
+                             rounds=1)
+
+    def test_counts_rounds_plus_warm(self, surf_env):
+        from repro.core.oracle import FineTimingOracle
+        oracle = FineTimingOracle(surf_env.service, ATTACKER_USER,
+                                  cutoff_us=8.0, rounds=6)
+        oracle.classify([b"\x07" * 5] * 10)
+        assert oracle.counter.total == 10 * 7
+
+    def test_no_eviction_needed(self, surf_env):
+        # A positive key stays detectable on repeated classification even
+        # though its block is now cached — the channel the coarse oracle
+        # cannot use.
+        from repro.core.oracle import FineTimingOracle
+        positive = next(k for k in surf_env.keys[::37]
+                        if surf_env.db.filters_pass(k))
+        oracle = FineTimingOracle(surf_env.service, ATTACKER_USER,
+                                  cutoff_us=8.2, rounds=12)
+        first = oracle.classify([positive])
+        second = oracle.classify([positive])
+        assert first == second == [True]

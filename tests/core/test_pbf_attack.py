@@ -1,0 +1,96 @@
+"""PBF attack strategy tests: l-detection and prefix-FP harvesting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.pbf_attack import PbfAttackStrategy
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.workloads.keygen import sha1_dataset
+
+WIDTH = 4
+PREFIX_LEN = 2  # dense enough at test scale for a clear FP-rate bump
+
+
+class FilterOracle:
+    def __init__(self, filt):
+        self.filt = filt
+
+    def classify(self, keys):
+        return [self.filt.may_contain(k) for k in keys]
+
+    def wait_for_eviction(self):
+        pass
+
+
+@pytest.fixture(scope="module")
+def pbf_and_keys():
+    keys = sha1_dataset(5000, WIDTH, seed=14)
+    filt = PrefixBloomFilter.for_entries(len(keys), 18.0, PREFIX_LEN)
+    for key in keys:
+        filt.add(key)
+    return filt, keys
+
+
+class TestDetection:
+    def test_detects_true_prefix_length(self, pbf_and_keys):
+        filt, _ = pbf_and_keys
+        strategy = PbfAttackStrategy(WIDTH, seed=15)
+        scan = strategy.detect_prefix_length(FilterOracle(filt),
+                                             min_len=1, max_len=3,
+                                             samples_per_length=3000)
+        assert scan.detected == PREFIX_LEN
+        assert strategy.prefix_len == PREFIX_LEN
+        assert scan.fractions[PREFIX_LEN] == max(scan.fractions.values())
+
+    def test_scan_rows(self, pbf_and_keys):
+        filt, _ = pbf_and_keys
+        strategy = PbfAttackStrategy(WIDTH, seed=15)
+        scan = strategy.detect_prefix_length(FilterOracle(filt), 1, 3, 1000)
+        rows = scan.as_rows()
+        assert len(rows) == 3
+        assert sum(r["detected"] for r in rows) == 1
+
+    def test_invalid_scan_range(self):
+        strategy = PbfAttackStrategy(WIDTH)
+        with pytest.raises(ConfigError):
+            strategy.detect_prefix_length(None, min_len=0, max_len=3)
+
+
+class TestFindFPK:
+    def test_requires_known_length(self):
+        strategy = PbfAttackStrategy(WIDTH)
+        with pytest.raises(ConfigError):
+            strategy.generate_candidates(10)
+
+    def test_candidates_have_prefix_length(self):
+        strategy = PbfAttackStrategy(WIDTH, prefix_len=PREFIX_LEN, seed=1)
+        assert all(len(c) == PREFIX_LEN
+                   for c in strategy.generate_candidates(50))
+
+    def test_positives_dominated_by_true_prefixes(self, pbf_and_keys):
+        filt, keys = pbf_and_keys
+        strategy = PbfAttackStrategy(WIDTH, prefix_len=PREFIX_LEN, seed=16)
+        oracle = FilterOracle(filt)
+        fps = strategy.find_false_positives(
+            oracle, strategy.generate_candidates(20_000))
+        true_prefixes = {k[:PREFIX_LEN] for k in keys}
+        prefix_fps = sum(1 for fp in fps if fp in true_prefixes)
+        # 5000 keys over 2^16 prefixes: ~7.3% prefix-FP rate vs ~1% Bloom.
+        assert prefix_fps > len(fps) * 0.5
+
+    def test_identify_prefixes_is_identity(self, pbf_and_keys):
+        filt, _ = pbf_and_keys
+        strategy = PbfAttackStrategy(WIDTH, prefix_len=PREFIX_LEN, seed=16)
+        candidates = strategy.identify_prefixes(None, [b"ab", b"cd"])
+        assert [(c.fp_key, c.prefix) for c in candidates] == [
+            (b"ab", b"ab"), (b"cd", b"cd")]
+
+    def test_no_hash_constraint(self):
+        strategy = PbfAttackStrategy(WIDTH, prefix_len=PREFIX_LEN)
+        candidates = strategy.identify_prefixes(None, [b"ab"])
+        assert strategy.hash_constraint_for(candidates[0]) is None
+
+
+def test_invalid_width():
+    with pytest.raises(ConfigError):
+        PbfAttackStrategy(0)

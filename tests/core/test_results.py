@@ -1,0 +1,78 @@
+"""Attack accounting tests."""
+
+from repro.core.results import (
+    STAGE_EXTEND,
+    STAGE_FIND_FPK,
+    STAGE_ID_PREFIX,
+    AttackResult,
+    ExtractedKey,
+    QueryCounter,
+)
+
+
+class TestQueryCounter:
+    def test_attribution_by_stage(self):
+        counter = QueryCounter()
+        counter.stage = STAGE_FIND_FPK
+        counter.charge(10)
+        counter.stage = STAGE_EXTEND
+        counter.charge(5)
+        counter.charge()
+        assert counter.by_stage == {STAGE_FIND_FPK: 10, STAGE_EXTEND: 6}
+        assert counter.total == 16
+
+
+class TestAttackResult:
+    def make_result(self):
+        result = AttackResult()
+        result.queries_by_stage = {STAGE_FIND_FPK: 100, STAGE_ID_PREFIX: 10,
+                                   STAGE_EXTEND: 890}
+        result.extracted = [ExtractedKey(b"k1", b"k", 400),
+                            ExtractedKey(b"k2", b"k", 490)]
+        result.wasted_queries = 50
+        result.progress = [(100, 0), (500, 1), (1000, 2)]
+        return result
+
+    def test_totals(self):
+        result = self.make_result()
+        assert result.total_queries == 1000
+        assert result.num_extracted == 2
+        assert result.queries_per_key() == 500.0
+
+    def test_queries_per_key_empty(self):
+        assert AttackResult().queries_per_key() == float("inf")
+
+    def test_moving_average_skips_zero_extractions(self):
+        result = self.make_result()
+        assert result.moving_queries_per_key() == [(500, 500.0), (1000, 500.0)]
+
+    def test_stage_table_shape(self):
+        rows = self.make_result().stage_table()
+        assert [r["stage"] for r in rows] == [
+            STAGE_FIND_FPK, STAGE_ID_PREFIX, STAGE_EXTEND, "wasted"]
+        assert rows[2]["percent"] == 89.0
+        assert rows[3]["queries"] == 50
+
+    def test_stage_table_empty_result(self):
+        rows = AttackResult().stage_table()
+        assert all(r["queries"] == 0 for r in rows)
+
+
+class TestParallelModel:
+    def test_parallel_speedup_applies_to_find_stage_only(self):
+        result = AttackResult()
+        result.stage_durations_us = {STAGE_FIND_FPK: 1600.0,
+                                     STAGE_ID_PREFIX: 10.0,
+                                     STAGE_EXTEND: 390.0}
+        serial = result.parallel_duration_us(1)
+        parallel = result.parallel_duration_us(16)
+        assert serial == 2000.0
+        assert parallel == 1600.0 / 16 + 400.0
+
+    def test_custom_parallel_stages(self):
+        result = AttackResult()
+        result.stage_durations_us = {STAGE_FIND_FPK: 100.0,
+                                     STAGE_EXTEND: 100.0}
+        both = result.parallel_duration_us(
+            4, parallel_stages=(STAGE_FIND_FPK, STAGE_EXTEND))
+        assert both == 50.0

@@ -1,0 +1,32 @@
+"""Filter interface tests: stats accounting and FPR measurement."""
+
+from repro.filters.base import measure_fpr
+from repro.filters.bloom import BloomFilter
+
+
+def test_measure_fpr_counts_only_false_positives():
+    filt = BloomFilter.for_entries(100, 10)
+    for i in range(100):
+        filt.add(i.to_bytes(4, "big"))
+    absent = [i.to_bytes(4, "big") for i in range(1000, 6000)]
+    fpr = measure_fpr(filt, absent)
+    assert 0.0 <= fpr < 0.05
+
+
+def test_measure_fpr_empty_input():
+    filt = BloomFilter.for_entries(10, 10)
+    assert measure_fpr(filt, []) == 0.0
+
+
+def test_range_stats_recorded(small_keys):
+    from repro.filters.surf import SuRF
+    filt = SuRF.build(small_keys, variant="real")
+    filt.may_contain_range(small_keys[0], small_keys[0])
+    filt.may_contain_range(b"\x01", b"\x00")
+    assert filt.stats.range_queries == 2
+    assert filt.stats.range_positives == 1
+
+
+def test_bits_per_key_zero_keys():
+    filt = BloomFilter.for_entries(10, 10)
+    assert filt.bits_per_key(0) == 0.0

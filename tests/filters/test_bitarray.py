@@ -1,0 +1,61 @@
+"""Bit array tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.filters.bitarray import BitArray
+
+
+class TestBasics:
+    def test_starts_clear(self):
+        bits = BitArray(100)
+        assert not any(bits.get(i) for i in range(100))
+        assert bits.count() == 0
+
+    def test_set_get_clear(self):
+        bits = BitArray(16)
+        bits.set(3)
+        bits.set(15)
+        assert bits.get(3) and bits[15]
+        assert not bits.get(4)
+        bits.clear(3)
+        assert not bits.get(3)
+        assert bits.count() == 1
+
+    def test_bounds_checked(self):
+        bits = BitArray(8)
+        with pytest.raises(ConfigError):
+            bits.get(8)
+        with pytest.raises(ConfigError):
+            bits.set(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            BitArray(-1)
+
+    def test_len(self):
+        assert len(BitArray(13)) == 13
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        bits = BitArray(20)
+        for i in (0, 7, 8, 13, 19):
+            bits.set(i)
+        restored = BitArray.from_bytes(20, bits.to_bytes())
+        assert all(restored.get(i) == bits.get(i) for i in range(20))
+
+    def test_bad_payload_length(self):
+        with pytest.raises(ConfigError):
+            BitArray.from_bytes(20, b"\x00")
+
+    @given(st.sets(st.integers(min_value=0, max_value=127), max_size=40))
+    def test_round_trip_property(self, positions):
+        bits = BitArray(128)
+        for p in positions:
+            bits.set(p)
+        restored = BitArray.from_bytes(128, bits.to_bytes())
+        assert {i for i in range(128) if restored.get(i)} == positions
+        assert restored.count() == len(positions)

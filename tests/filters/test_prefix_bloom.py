@@ -1,0 +1,101 @@
+"""Prefix Bloom filter tests — including the vulnerability-defining
+prefix-false-positive behaviour of paper section 7.2."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.filters.prefix_bloom import PrefixBloomFilter, PrefixBloomFilterBuilder
+
+
+def build_pbf(keys, prefix_len=3, bits_per_key=18.0, whole_key=True):
+    filt = PrefixBloomFilter.for_entries(len(keys), bits_per_key, prefix_len,
+                                         whole_key)
+    for key in keys:
+        filt.add(key)
+    return filt
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = make_rng(3, "pbf-keys")
+    return sorted({rng.random_bytes(5) for _ in range(3000)})
+
+
+class TestPointQueries:
+    def test_no_false_negatives(self, keys):
+        filt = build_pbf(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_prefix_false_positives(self, keys):
+        # The property the attack exploits: an l-byte query for a stored
+        # key's prefix passes even though no such key exists.
+        filt = build_pbf(keys, prefix_len=3)
+        hits = sum(filt.may_contain(k[:3]) for k in keys[:500])
+        assert hits == 500
+
+    def test_fp_bump_only_at_l(self, keys):
+        # Random queries at length l pass far more often than at other
+        # lengths — the l-detection signal of section 7.2.1.  l = 2 keeps
+        # the stored-prefix density (3000/2^16) well above the Bloom FPR.
+        filt = build_pbf(keys, prefix_len=2)
+        rng = make_rng(9, "probe")
+        rates = {}
+        for length in (1, 2, 3):
+            probes = [rng.random_bytes(length) for _ in range(4000)]
+            rates[length] = sum(filt.may_contain(p) for p in probes) / 4000
+        assert rates[2] > 2 * rates[1]
+        assert rates[2] > 2 * rates[3]
+
+    def test_prefix_only_mode(self, keys):
+        filt = build_pbf(keys, whole_key=False)
+        assert all(filt.may_contain(k) for k in keys)
+        # Any key sharing a stored 3-byte prefix passes in this mode.
+        probe = keys[0][:3] + b"\xde\xad"
+        assert filt.may_contain(probe)
+
+    def test_short_keys_survive_prefix_only_mode(self):
+        filt = PrefixBloomFilter.for_entries(4, 18.0, prefix_len=3,
+                                             whole_key_filtering=False)
+        filt.add(b"ab")
+        assert filt.may_contain(b"ab")
+
+
+class TestRangeQueries:
+    def test_within_prefix_range(self, keys):
+        filt = build_pbf(keys, prefix_len=3)
+        key = keys[0]
+        assert filt.may_contain_range(key[:3] + b"\x00\x00",
+                                      key[:3] + b"\xff\xff")
+
+    def test_absent_prefix_range_rejected_mostly(self, keys):
+        filt = build_pbf(keys, prefix_len=3)
+        rng = make_rng(11, "ranges")
+        rejected = 0
+        for _ in range(500):
+            prefix = rng.random_bytes(3)
+            if any(k.startswith(prefix) for k in keys):
+                continue
+            if not filt.may_contain_range(prefix + b"\x00\x00",
+                                          prefix + b"\xff\xff"):
+                rejected += 1
+        assert rejected > 400  # one-sided errors only, FPR a few percent
+
+    def test_cross_prefix_range_conservatively_passes(self, keys):
+        filt = build_pbf(keys, prefix_len=3)
+        assert filt.may_contain_range(b"\x00" * 5, b"\xff" * 5)
+
+
+class TestConfig:
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ConfigError):
+            PrefixBloomFilter(0, 100, 3)
+        with pytest.raises(ConfigError):
+            PrefixBloomFilterBuilder(prefix_len=0)
+
+    def test_builder(self, keys):
+        builder = PrefixBloomFilterBuilder(prefix_len=3, bits_per_key=18.0)
+        filt = builder.build(keys)
+        assert filt.prefix_len == 3
+        assert "pbf" in builder.name
+        assert filt.bits_per_key(len(keys)) >= 17

@@ -1,0 +1,92 @@
+"""Succinct bitvector rank/select tests, including against a naive model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.filters.rank_select import BitVector
+
+
+class TestBasics:
+    def test_get(self):
+        bv = BitVector([True, False, True, True])
+        assert [bv.get(i) for i in range(4)] == [True, False, True, True]
+        assert bv[0] and not bv[1]
+
+    def test_len_and_ones(self):
+        bv = BitVector([True, False, True])
+        assert len(bv) == 3
+        assert bv.ones == 2
+
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_bounds(self):
+        bv = BitVector([True])
+        with pytest.raises(ConfigError):
+            bv.get(1)
+        with pytest.raises(ConfigError):
+            bv.rank1(2)
+        with pytest.raises(ConfigError):
+            bv.select1(0)
+        with pytest.raises(ConfigError):
+            bv.select1(2)
+
+
+class TestRank:
+    def test_rank_counts_prefix(self):
+        bits = [True, True, False, True, False]
+        bv = BitVector(bits)
+        for i in range(len(bits) + 1):
+            assert bv.rank1(i) == sum(bits[:i])
+            assert bv.rank0(i) == i - sum(bits[:i])
+
+    def test_rank_across_word_boundaries(self):
+        bits = [i % 3 == 0 for i in range(300)]
+        bv = BitVector(bits)
+        for i in (0, 63, 64, 65, 127, 128, 200, 300):
+            assert bv.rank1(i) == sum(bits[:i])
+
+
+class TestSelect:
+    def test_select_inverse_of_rank(self):
+        bits = [i % 5 == 0 for i in range(400)]
+        bv = BitVector(bits)
+        positions = [i for i, b in enumerate(bits) if b]
+        for rank, pos in enumerate(positions, 1):
+            assert bv.select1(rank) == pos
+
+    def test_select_past_sampling_interval(self):
+        # More than SELECT_SAMPLE ones, exercising the sampled path.
+        bits = [True] * 200
+        bv = BitVector(bits)
+        assert bv.select1(1) == 0
+        assert bv.select1(65) == 64
+        assert bv.select1(200) == 199
+
+
+@given(st.lists(st.booleans(), min_size=0, max_size=500))
+def test_rank_select_match_naive_model(bits):
+    bv = BitVector(bits)
+    ones = [i for i, b in enumerate(bits) if b]
+    assert bv.ones == len(ones)
+    for i in range(0, len(bits) + 1, max(1, len(bits) // 7)):
+        assert bv.rank1(i) == len([p for p in ones if p < i])
+    for rank, pos in enumerate(ones, 1):
+        assert bv.select1(rank) == pos
+
+
+@given(st.integers(min_value=1, max_value=600), st.integers(0, 2**32))
+def test_select_rank_round_trip(length, seed):
+    import random
+    rnd = random.Random(seed)
+    bits = [rnd.random() < 0.3 for _ in range(length)]
+    bv = BitVector(bits)
+    for rank in range(1, bv.ones + 1):
+        pos = bv.select1(rank)
+        assert bv.get(pos)
+        assert bv.rank1(pos + 1) == rank

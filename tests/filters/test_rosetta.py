@@ -1,0 +1,107 @@
+"""Rosetta filter tests — including the non-vulnerability property."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.filters.rosetta import RosettaFilter, RosettaFilterBuilder
+
+
+@pytest.fixture(scope="module")
+def rosetta_and_keys():
+    rng = make_rng(31, "rosetta")
+    keys = sorted({rng.random_bytes(3) for _ in range(800)})
+    filt = RosettaFilter(3, len(keys), bits_per_key_per_level=6.0)
+    for key in keys:
+        filt.add(key)
+    return filt, keys
+
+
+class TestPointQueries:
+    def test_no_false_negatives(self, rosetta_and_keys):
+        filt, keys = rosetta_and_keys
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_fpr_bounded(self, rosetta_and_keys):
+        filt, keys = rosetta_and_keys
+        stored = set(keys)
+        rng = make_rng(32, "probes")
+        probes = [rng.random_bytes(3) for _ in range(5000)]
+        fps = sum(filt.may_contain(p) for p in probes if p not in stored)
+        assert fps / 5000 < 0.15
+
+    def test_point_fp_shares_no_prefix_structure(self, rosetta_and_keys):
+        # The mitigation property (section 11): a stored key's proper
+        # prefix padded out is no likelier to pass than a random key,
+        # because point queries consult only the bottom-level filter.
+        filt, keys = rosetta_and_keys
+        stored = set(keys)
+        prefix_probes = [k[:2] + b"\x77" for k in keys
+                         if k[:2] + b"\x77" not in stored][:2000]
+        rng = make_rng(33, "rand")
+        random_probes = [rng.random_bytes(3) for _ in range(2000)]
+        random_probes = [p for p in random_probes if p not in stored]
+        prefix_rate = sum(map(filt.may_contain, prefix_probes)) / len(prefix_probes)
+        random_rate = sum(map(filt.may_contain, random_probes)) / len(random_probes)
+        assert abs(prefix_rate - random_rate) < 0.05
+
+    def test_wrong_width_rejected(self, rosetta_and_keys):
+        filt, _ = rosetta_and_keys
+        with pytest.raises(ConfigError):
+            filt.may_contain(b"ab")
+        with pytest.raises(ConfigError):
+            filt.add(b"abcd")
+
+
+class TestRangeQueries:
+    def test_non_empty_ranges_pass(self, rosetta_and_keys):
+        filt, keys = rosetta_and_keys
+        for key in keys[::50]:
+            assert filt.may_contain_range(key, key)
+
+    def test_wide_range_passes(self, rosetta_and_keys):
+        filt, _ = rosetta_and_keys
+        assert filt.may_contain_range(b"\x00\x00\x00", b"\xff\xff\xff")
+
+    def test_empty_ranges_mostly_rejected(self, rosetta_and_keys):
+        filt, keys = rosetta_and_keys
+        stored = sorted(keys)
+        rejected = 0
+        trials = 0
+        for i in range(len(stored) - 1):
+            lo_int = int.from_bytes(stored[i], "big") + 1
+            hi_int = int.from_bytes(stored[i + 1], "big") - 1
+            if lo_int > hi_int:
+                continue
+            trials += 1
+            if not filt.may_contain_range(lo_int.to_bytes(3, "big"),
+                                          hi_int.to_bytes(3, "big")):
+                rejected += 1
+            if trials == 100:
+                break
+        assert rejected > 60  # dyadic doubting keeps range FPR modest
+
+    def test_inverted_range(self, rosetta_and_keys):
+        filt, _ = rosetta_and_keys
+        assert not filt.may_contain_range(b"\x02\x00\x00", b"\x01\x00\x00")
+
+
+class TestConfig:
+    def test_memory_reported(self, rosetta_and_keys):
+        filt, keys = rosetta_and_keys
+        # L levels at ~6 bits/key each: far more than SuRF's ~20.
+        assert filt.bits_per_key(len(keys)) > 80
+
+    def test_builder(self):
+        builder = RosettaFilterBuilder(key_bytes=2, bits_per_key_per_level=4)
+        filt = builder.build([b"aa", b"bb"])
+        assert filt.may_contain(b"aa")
+        assert "rosetta" in builder.name
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            RosettaFilter(0, 10)
+        with pytest.raises(ConfigError):
+            RosettaFilter(2, 10, bits_per_key_per_level=0)
+        with pytest.raises(ConfigError):
+            RosettaFilterBuilder(key_bytes=0)

@@ -1,0 +1,86 @@
+"""Split point/range filter tests (the section-11 engine mitigation)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.filters import (
+    BloomFilterBuilder,
+    SplitFilter,
+    SplitFilterBuilder,
+    SuRFBuilder,
+    deserialize_filter,
+    serialize_filter,
+)
+from repro.workloads.keygen import sha1_dataset
+
+
+@pytest.fixture(scope="module")
+def split_and_keys():
+    keys = sha1_dataset(3000, 5, seed=55)
+    return SplitFilterBuilder().build(keys), keys
+
+
+class TestComposition:
+    def test_no_false_negatives_either_path(self, split_and_keys):
+        filt, keys = split_and_keys
+        assert all(filt.may_contain(k) for k in keys)
+        assert all(filt.may_contain_range(k, k) for k in keys[::100])
+
+    def test_point_fps_are_prefix_free(self, split_and_keys):
+        # The mitigation's core property: point FPs are Bloom hash
+        # collisions, so a stored key's proper prefix padded out passes no
+        # more often than a random key.
+        filt, keys = split_and_keys
+        stored = set(keys)
+        prefix_probes = [k[:3] + b"\x55\x55" for k in keys
+                         if k[:3] + b"\x55\x55" not in stored][:3000]
+        rng = make_rng(56, "rand")
+        random_probes = [rng.random_bytes(5) for _ in range(3000)]
+        prefix_rate = sum(map(filt.may_contain, prefix_probes)) / len(
+            prefix_probes)
+        random_rate = sum(map(filt.may_contain, random_probes)) / len(
+            random_probes)
+        assert abs(prefix_rate - random_rate) < 0.03
+
+    def test_range_path_still_prefix_structured(self, split_and_keys):
+        # Range queries go to the SuRF: a stored key's prefix range passes.
+        filt, keys = split_and_keys
+        key = keys[0]
+        assert filt.may_contain_range(key[:3] + b"\x00\x00",
+                                      key[:3] + b"\xff\xff")
+
+    def test_memory_roughly_doubles(self, split_and_keys):
+        filt, keys = split_and_keys
+        point = filt.point_filter.memory_bits()
+        ranged = filt.range_filter.memory_bits()
+        assert filt.memory_bits() == point + ranged
+        assert filt.bits_per_key(len(keys)) > 25  # ~10 bloom + ~20 surf
+
+
+class TestBuilder:
+    def test_point_builder_must_be_bloom(self):
+        with pytest.raises(ConfigError):
+            SplitFilterBuilder(point_builder=SuRFBuilder())
+
+    def test_custom_builders(self):
+        builder = SplitFilterBuilder(
+            point_builder=BloomFilterBuilder(12.0),
+            range_builder=SuRFBuilder(variant="base"))
+        filt = builder.build([b"aaaa", b"bbbb"])
+        assert isinstance(filt, SplitFilter)
+        assert "split" in builder.name
+
+
+class TestSerialization:
+    def test_round_trip(self, split_and_keys):
+        filt, keys = split_and_keys
+        restored = deserialize_filter(serialize_filter(filt))
+        rng = make_rng(57, "probe")
+        probes = [rng.random_bytes(5) for _ in range(3000)]
+        assert [filt.may_contain(p) for p in probes] == [
+            restored.may_contain(p) for p in probes]
+        for key in keys[::300]:
+            low, high = key[:3] + b"\x00\x00", key[:3] + b"\xff\xff"
+            assert (filt.may_contain_range(low, high)
+                    == restored.may_contain_range(low, high))

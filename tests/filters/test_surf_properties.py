@@ -1,0 +1,64 @@
+"""Property-based SuRF tests: backend agreement and one-sided errors.
+
+The central invariants of section 2.3 / 6.1, checked with hypothesis:
+no query — point or range, any variant, any key set — may produce a false
+negative, and the dict-trie and LOUDS backends must answer identically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.surf import SuRF
+
+key_sets = st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=60)
+variants = st.sampled_from(["base", "hash", "real"])
+
+
+@given(keys=key_sets, variant=variants, probe=st.binary(min_size=0, max_size=8))
+@settings(max_examples=150)
+def test_backends_agree_on_point_queries(keys, variant, probe):
+    sorted_keys = sorted(keys)
+    trie = SuRF.build(sorted_keys, variant=variant, backend="trie")
+    louds = SuRF.build(sorted_keys, variant=variant, backend="louds")
+    assert trie.may_contain(probe) == louds.may_contain(probe)
+
+
+@given(keys=key_sets, variant=variants)
+@settings(max_examples=100)
+def test_no_point_false_negatives(keys, variant):
+    sorted_keys = sorted(keys)
+    for backend in ("trie", "louds"):
+        filt = SuRF.build(sorted_keys, variant=variant, backend=backend)
+        assert all(filt.may_contain(k) for k in sorted_keys)
+
+
+@given(keys=key_sets, variant=variants,
+       low=st.binary(min_size=0, max_size=6),
+       high=st.binary(min_size=0, max_size=6))
+@settings(max_examples=150)
+def test_range_queries_one_sided_and_backend_agree(keys, variant, low, high):
+    if low > high:
+        low, high = high, low
+    sorted_keys = sorted(keys)
+    trie = SuRF.build(sorted_keys, variant=variant, backend="trie")
+    louds = SuRF.build(sorted_keys, variant=variant, backend="louds")
+    trie_answer = trie.may_contain_range(low, high)
+    assert trie_answer == louds.may_contain_range(low, high)
+    if any(low <= k <= high for k in sorted_keys):
+        assert trie_answer  # a non-empty range may never be rejected
+
+
+@given(keys=key_sets)
+@settings(max_examples=60)
+def test_empty_range_rejected(keys):
+    filt = SuRF.build(sorted(keys), variant="base")
+    assert not filt.may_contain_range(b"\x02", b"\x01")
+
+
+@given(keys=key_sets, variant=variants)
+@settings(max_examples=60)
+def test_point_query_of_stored_prefix_relationships(keys, variant):
+    # Keys that are prefixes of other stored keys must still be found.
+    sorted_keys = sorted(keys | {k[:1] for k in keys})
+    filt = SuRF.build(sorted_keys, variant=variant)
+    assert all(filt.may_contain(k) for k in sorted_keys)

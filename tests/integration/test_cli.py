@@ -1,0 +1,49 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig8" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_run_theory(capsys):
+    assert main(["run", "theory"]) == 0
+    out = capsys.readouterr().out
+    assert "Section-8" in out
+    assert "reduction_factor" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_demo_point_attack(capsys):
+    assert main(["demo", "--keys", "12000", "--candidates", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "extracted" in out and "queries/key" in out
+
+
+def test_demo_range_attack_rosetta(capsys):
+    assert main(["demo", "--keys", "2000", "--width", "4",
+                 "--filter", "rosetta", "--attack", "range",
+                 "--target-keys", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "extracted 5 keys (5 verified)" in out
+
+
+def test_demo_bloom_resists_point_attack(capsys):
+    assert main(["demo", "--keys", "4000", "--width", "4",
+                 "--filter", "bloom", "--candidates", "6000"]) == 0
+    out = capsys.readouterr().out
+    assert "resisted" in out or "extracted 0" in out

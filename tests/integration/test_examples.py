@@ -1,0 +1,32 @@
+"""Example scripts stay importable and the quickstart stays runnable."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_directory_populated():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES_DIR.glob("*.py")),
+                         ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "extracted" in completed.stdout
+    assert "search-space reduction" in completed.stdout

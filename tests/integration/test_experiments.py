@@ -1,0 +1,88 @@
+"""Smoke tests of the experiment modules at reduced scale.
+
+Each experiment must run end to end, produce its rows/series, and satisfy
+the paper's qualitative claim at tiny scale.  The benchmarks run the full
+scaled versions; these just guarantee the modules stay runnable.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    exp_ablation_backend,
+    exp_bruteforce,
+    exp_fig3,
+    exp_fig6,
+    exp_mitigation,
+    exp_table1,
+    exp_theory,
+)
+from repro.bench.report import ExperimentReport, format_report
+
+
+def test_registry_complete():
+    assert set(ALL_EXPERIMENTS) >= {
+        "table1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "theory", "bruteforce", "mitigation",
+        "range-attack", "ratelimit", "network", "skew", "fine-timing",
+        "detector"}
+
+
+def test_theory_report():
+    report = exp_theory.run()
+    assert isinstance(report, ExperimentReport)
+    assert len(report.rows) == 5
+    text = format_report(report)
+    assert "paper" in text
+
+
+def test_table1_small():
+    report = exp_table1.run(num_keys=5000, samples=3000, seed=9)
+    assert sum(r["count"] for r in report.rows) == 3000
+    fast = sum(r["percent"] for r in report.rows[:2])
+    assert fast > 90
+
+
+def test_fig3_pair_small():
+    report = exp_fig3.run(num_keys=5000, candidates=5000, seed=9)
+    assert len(report.rows) == 2
+    for row in report.rows:
+        assert row["correct"] == row["keys_extracted"]
+
+
+def test_fig6_growth_small():
+    report = exp_fig6.run(base_keys=2000, steps=2, candidates=5000, seed=9)
+    assert len(report.rows) == 2
+    assert (report.rows[1]["keys_extracted"]
+            >= report.rows[0]["keys_extracted"])
+
+
+def test_bruteforce_small():
+    report = exp_bruteforce.run(num_keys=5000, candidates=5000,
+                                budget_multiple=1.0, seed=9)
+    siphon, brute = report.rows
+    assert siphon["keys_extracted"] > 0
+    assert brute["keys_extracted"] == 0
+
+
+def test_mitigation_small():
+    report = exp_mitigation.run(num_keys=4000, candidates=4000, seed=9)
+    assert report.summary["rosetta_blocks_extraction"]
+    assert report.summary["hiding_blocks_extraction"]
+    assert report.summary["prefixes_still_leaked_with_hiding"] > 0
+
+
+def test_backend_ablation_small():
+    report = exp_ablation_backend.run(num_keys=2000, probes=2000, seed=9)
+    assert report.summary["backends_agree_on_all_queries"]
+
+
+def test_format_report_renders_series():
+    report = ExperimentReport(
+        experiment="x", title="t", paper_claim="c", scale_note="s",
+        rows=[{"a": 1, "b": 2.5}],
+        series={"curve": [(1, 2), (3, 4)]},
+        summary={"k": "v"},
+    )
+    text = format_report(report)
+    assert "curve" in text and "k: v" in text

@@ -1,0 +1,285 @@
+"""LSM-tree facade tests: reads, writes, ranges, recovery, timing."""
+
+import pytest
+
+from repro.common.errors import ConfigError, DBClosedError
+from repro.common.rng import make_rng
+from repro.filters.surf import SuRFBuilder
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+
+
+def surf_options(**overrides):
+    defaults = dict(
+        memtable_size_bytes=16 * 1024,
+        sstable_target_bytes=16 * 1024,
+        page_cache_bytes=128 * 1024,
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+    )
+    defaults.update(overrides)
+    return LSMOptions(**defaults)
+
+
+@pytest.fixture()
+def db():
+    return LSMTree(surf_options())
+
+
+class TestBasicOps:
+    def test_put_get(self, db):
+        db.put(b"key01", b"value")
+        assert db.get(b"key01") == b"value"
+
+    def test_get_missing(self, db):
+        assert db.get(b"nope!") is None
+
+    def test_delete(self, db):
+        db.put(b"key01", b"value")
+        db.delete(b"key01")
+        assert db.get(b"key01") is None
+
+    def test_delete_then_flush_shadows_old_levels(self, db):
+        db.put(b"key01", b"value")
+        db.flush()
+        db.delete(b"key01")
+        db.flush()
+        assert db.get(b"key01") is None
+
+    def test_get_after_flush(self, db):
+        db.put(b"key01", b"value")
+        db.flush()
+        assert db.get(b"key01") == b"value"
+
+    def test_overwrite_across_flush(self, db):
+        db.put(b"key01", b"v1")
+        db.flush()
+        db.put(b"key01", b"v2")
+        assert db.get(b"key01") == b"v2"
+
+
+class TestRangeQueries:
+    def test_inclusive_bounds(self, db):
+        for b in (1, 2, 3, 4):
+            db.put(bytes([b]) * 3, bytes([b]))
+        got = db.range_query(bytes([2]) * 3, bytes([3]) * 3)
+        assert [k for k, _ in got] == [bytes([2]) * 3, bytes([3]) * 3]
+
+    def test_merges_memtable_and_tables(self, db):
+        db.put(b"aaa", b"1")
+        db.flush()
+        db.put(b"bbb", b"2")  # still in memtable
+        got = db.range_query(b"a", b"z")
+        assert [k for k, _ in got] == [b"aaa", b"bbb"]
+
+    def test_tombstones_hide_entries(self, db):
+        db.put(b"aaa", b"1")
+        db.flush()
+        db.delete(b"aaa")
+        assert db.range_query(b"a", b"z") == []
+
+    def test_limit(self, db):
+        for b in range(10):
+            db.put(bytes([b + 1]) * 3, b"v")
+        assert len(db.range_query(b"\x00", b"\xff" * 3, limit=4)) == 4
+
+    def test_inverted_range_empty(self, db):
+        assert db.range_query(b"z", b"a") == []
+
+    def test_model_comparison(self, db):
+        rng = make_rng(17, "range")
+        model = {}
+        for _ in range(2000):
+            key = rng.random_bytes(4)
+            db.put(key, key[::-1])
+            model[key] = key[::-1]
+        skeys = sorted(model)
+        for _ in range(30):
+            lo, hi = sorted((rng.random_bytes(4), rng.random_bytes(4)))
+            want = [(k, model[k]) for k in skeys if lo <= k <= hi]
+            assert db.range_query(lo, hi) == want
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        db = LSMTree(surf_options())
+        items = [(i.to_bytes(4, "big"), b"v%d" % i) for i in range(5000)]
+        db.bulk_load(items)
+        assert db.get((42).to_bytes(4, "big")) == b"v42"
+        assert db.get((99999).to_bytes(4, "big")) is None
+        # Loaded as non-overlapping tables in one deep level.
+        populated = [lvl for lvl, tables in enumerate(db.version.levels)
+                     if tables]
+        assert populated and populated[0] >= 1
+
+    def test_bulk_load_requires_sorted_unique(self):
+        db = LSMTree(surf_options())
+        with pytest.raises(ConfigError):
+            db.bulk_load([(b"b", b"v"), (b"a", b"v")])
+
+    def test_bulk_load_requires_empty_tree(self):
+        db = LSMTree(surf_options())
+        db.put(b"key", b"v")
+        with pytest.raises(ConfigError):
+            db.bulk_load([(b"a", b"v")])
+
+
+class TestFiltersOnPath:
+    def test_filter_negative_skips_io(self, db):
+        rng = make_rng(19, "neg")
+        for _ in range(3000):
+            db.put(rng.random_bytes(5), b"v" * 30)
+        db.compact_all()
+        reads_before = db.device.stats.reads
+        misses = 0
+        for _ in range(500):
+            key = rng.random_bytes(5)
+            if not db.filters_pass(key):
+                db.get(key)
+                misses += 1
+        assert misses > 400
+        assert db.device.stats.reads == reads_before
+
+    def test_filters_pass_matches_get_io(self, db):
+        rng = make_rng(20, "oracle")
+        for _ in range(2000):
+            db.put(rng.random_bytes(5), b"v" * 30)
+        db.compact_all()
+        for _ in range(300):
+            key = rng.random_bytes(5)
+            expected_io = db.filters_pass(key)
+            before = db.device.stats.reads + db.cache.stats.hits
+            db.get(key)
+            did_io = (db.device.stats.reads + db.cache.stats.hits) > before
+            assert did_io == expected_io
+
+    def test_stats_counters(self, db):
+        db.put(b"key01", b"v")
+        db.flush()
+        db.get(b"key01")
+        db.get(b"nope!")
+        assert db.stats.gets == 2
+        assert db.stats.filter_checks >= 1
+
+
+class TestTiming:
+    def test_get_timed_returns_elapsed(self, db):
+        db.put(b"key01", b"v")
+        value, elapsed = db.get_timed(b"key01")
+        assert value == b"v"
+        assert elapsed > 0
+
+    def test_negative_faster_than_uncached_positive(self):
+        db = LSMTree(surf_options())
+        rng = make_rng(23, "timing")
+        keys = sorted({rng.random_bytes(5) for _ in range(3000)})
+        db.bulk_load([(k, b"v" * 30) for k in keys])
+        negatives, positives = [], []
+        for _ in range(400):
+            key = rng.random_bytes(5)
+            passes = db.filters_pass(key)
+            _, elapsed = db.get_timed(key)
+            (positives if passes else negatives).append(elapsed)
+            db.cache.clear()  # keep every positive an I/O
+        assert negatives
+        if positives:
+            assert (sum(positives) / len(positives)
+                    > 2 * sum(negatives) / len(negatives))
+
+
+class TestRecovery:
+    def test_reopen_recovers_tables_and_wal(self):
+        db = LSMTree(surf_options())
+        rng = make_rng(29, "recovery")
+        model = {}
+        for _ in range(3000):
+            key = rng.random_bytes(5)
+            db.put(key, key[::-1])
+            model[key] = key[::-1]
+        # No flush of the tail: it must come back via the WAL.
+        reopened = LSMTree.reopen(db.device, surf_options())
+        for key, value in list(model.items())[::117]:
+            assert reopened.get(key) == value
+
+    def test_reopen_recovers_deletes(self):
+        db = LSMTree(surf_options())
+        db.put(b"key01", b"v")
+        db.flush()
+        db.delete(b"key01")
+        reopened = LSMTree.reopen(db.device, surf_options())
+        assert reopened.get(b"key01") is None
+
+
+class TestLifecycle:
+    def test_closed_db_rejects_ops(self, db):
+        db.put(b"key01", b"v")
+        db.close()
+        with pytest.raises(DBClosedError):
+            db.get(b"key01")
+        with pytest.raises(DBClosedError):
+            db.put(b"key02", b"v")
+
+    def test_close_idempotent(self, db):
+        db.close()
+        db.close()
+
+    def test_describe(self, db):
+        db.put(b"key01", b"v")
+        info = db.describe()
+        assert info["memtable_entries"] == 1
+        assert "surf" in info["filter"]
+
+
+class TestIteratorApi:
+    def test_iterates_merged_view_in_order(self, db):
+        db.put(b"ccc", b"3")
+        db.flush()
+        db.put(b"aaa", b"1")  # memtable
+        db.put(b"bbb", b"2")
+        it = db.iterator()
+        assert it.valid and it.key == b"aaa" and it.value == b"1"
+        it.next()
+        assert it.key == b"bbb"
+        it.next()
+        assert it.key == b"ccc"
+        it.next()
+        assert not it.valid
+
+    def test_bounds_and_seek(self, db):
+        for b in range(1, 8):
+            db.put(bytes([b]) * 3, bytes([b]))
+        it = db.iterator(low=bytes([3]) * 3, high=bytes([5]) * 3)
+        assert [k for k, _ in it] == [bytes([3]) * 3, bytes([4]) * 3,
+                                      bytes([5]) * 3]
+
+    def test_tombstones_skipped(self, db):
+        db.put(b"aaa", b"1")
+        db.put(b"bbb", b"2")
+        db.flush()
+        db.delete(b"aaa")
+        it = db.iterator()
+        assert [k for k, _ in it] == [b"bbb"]
+
+    def test_newest_value_wins(self, db):
+        db.put(b"kkk", b"old")
+        db.flush()
+        db.put(b"kkk", b"new")
+        it = db.iterator()
+        assert it.value == b"new"
+
+    def test_exhausted_cursor_raises(self, db):
+        from repro.common.errors import LSMError
+        it = db.iterator()
+        assert not it.valid
+        with pytest.raises(LSMError):
+            it.key
+        with pytest.raises(LSMError):
+            it.next()
+
+    def test_matches_range_query(self, db):
+        from repro.common.rng import make_rng
+        rng = make_rng(91, "iter")
+        for _ in range(2000):
+            k = rng.random_bytes(4)
+            db.put(k, k[::-1])
+        lo, hi = sorted((rng.random_bytes(4), rng.random_bytes(4)))
+        assert list(db.iterator(lo, hi)) == db.range_query(lo, hi)

@@ -1,0 +1,46 @@
+"""Model-based property test: the LSM-tree must behave like a dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilterBuilder
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=5),
+                  st.binary(max_size=8)),
+        st.tuples(st.just("delete"), st.binary(min_size=1, max_size=5),
+                  st.just(b"")),
+        st.tuples(st.just("flush"), st.just(b""), st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+@given(operations=ops, probe=st.binary(min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_lsm_matches_dict_model(operations, probe):
+    db = LSMTree(LSMOptions(
+        memtable_size_bytes=512,  # force frequent flushes
+        sstable_target_bytes=512,
+        l0_compaction_trigger=2,
+        base_level_size_bytes=2048,
+        page_cache_bytes=64 * 1024,
+        filter_builder=BloomFilterBuilder(10),
+    ))
+    model = {}
+    for op, key, value in operations:
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            db.delete(key)
+            model.pop(key, None)
+        else:
+            db.flush()
+    for key in list(model)[:10] + [probe]:
+        assert db.get(key) == model.get(key)
+    lo, hi = b"\x00", b"\xff" * 6
+    assert db.range_query(lo, hi) == sorted(model.items())

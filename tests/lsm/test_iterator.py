@@ -1,0 +1,59 @@
+"""Merging iterator tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.iterator import merge_entries
+from repro.lsm.memtable import TOMBSTONE, Entry
+
+
+def test_merges_sorted_streams():
+    a = [(b"a", Entry(b"1")), (b"c", Entry(b"3"))]
+    b = [(b"b", Entry(b"2")), (b"d", Entry(b"4"))]
+    merged = list(merge_entries([a, b]))
+    assert [k for k, _ in merged] == [b"a", b"b", b"c", b"d"]
+
+
+def test_newest_wins_on_duplicates():
+    new = [(b"k", Entry(b"new"))]
+    old = [(b"k", Entry(b"old"))]
+    merged = list(merge_entries([new, old]))
+    assert merged == [(b"k", Entry(b"new"))]
+
+
+def test_tombstone_shadows_value():
+    new = [(b"k", TOMBSTONE)]
+    old = [(b"k", Entry(b"old"))]
+    (key, entry), = merge_entries([new, old])
+    assert entry.is_tombstone
+
+
+def test_empty_sources():
+    assert list(merge_entries([])) == []
+    assert list(merge_entries([[], []])) == []
+
+
+def test_three_way_precedence():
+    s0 = [(b"k", Entry(b"v0"))]
+    s1 = [(b"k", Entry(b"v1"))]
+    s2 = [(b"k", Entry(b"v2")), (b"z", Entry(b"z2"))]
+    merged = dict(merge_entries([s0, s1, s2]))
+    assert merged[b"k"].value == b"v0"
+    assert merged[b"z"].value == b"z2"
+
+
+@given(st.lists(st.dictionaries(st.binary(min_size=1, max_size=4),
+                                st.binary(max_size=4), max_size=30),
+                min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_matches_dict_union_semantics(layers):
+    # layers[0] is newest; dict union with reversed order models shadowing.
+    sources = [sorted((k, Entry(v)) for k, v in layer.items())
+               for layer in layers]
+    expected = {}
+    for layer in reversed(layers):
+        expected.update(layer)
+    merged = {k: e.value for k, e in merge_entries(sources)}
+    assert merged == expected
+    keys = [k for k, _ in merge_entries(sources)]
+    assert keys == sorted(keys)

@@ -1,0 +1,43 @@
+"""Manifest persistence tests."""
+
+import pytest
+
+from repro.common.errors import CorruptionError
+from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+
+
+@pytest.fixture()
+def manifest():
+    return Manifest(StorageDevice(SimClock()))
+
+
+def test_round_trip(manifest):
+    entries = [
+        ManifestEntry(0, "sst/000001.sst", 100, 4096),
+        ManifestEntry(3, "sst/000002.sst", 2000, 65536),
+    ]
+    manifest.write(entries)
+    assert manifest.read() == entries
+
+
+def test_missing_manifest_is_empty(manifest):
+    assert manifest.read() == []
+
+
+def test_rewrite_replaces(manifest):
+    manifest.write([ManifestEntry(0, "a", 1, 1)])
+    manifest.write([ManifestEntry(1, "b", 2, 2)])
+    assert manifest.read() == [ManifestEntry(1, "b", 2, 2)]
+
+
+def test_empty_version(manifest):
+    manifest.write([])
+    assert manifest.read() == []
+
+
+def test_malformed_line_detected(manifest):
+    manifest.device.create_file(manifest.path, b"0 only-two")
+    with pytest.raises(CorruptionError):
+        manifest.read()

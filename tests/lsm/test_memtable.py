@@ -1,0 +1,100 @@
+"""Skip-list memtable tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.lsm.memtable import MemTable
+
+
+class TestPutGet:
+    def test_put_then_get(self):
+        table = MemTable()
+        table.put(b"k1", b"v1")
+        assert table.get(b"k1").value == b"v1"
+
+    def test_missing_key(self):
+        assert MemTable().get(b"nope") is None
+
+    def test_overwrite(self):
+        table = MemTable()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.get(b"k").value == b"v2"
+        assert len(table) == 1
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigError):
+            MemTable().put(b"", b"v")
+
+    def test_put_none_rejected(self):
+        with pytest.raises(ConfigError):
+            MemTable().put(b"k", None)
+
+
+class TestTombstones:
+    def test_delete_records_tombstone(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.delete(b"k")
+        entry = table.get(b"k")
+        assert entry is not None and entry.is_tombstone
+
+    def test_delete_of_absent_key_still_recorded(self):
+        # Tombstones must shadow older levels even without a local value.
+        table = MemTable()
+        table.delete(b"k")
+        assert table.get(b"k").is_tombstone
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self):
+        table = MemTable()
+        rng = make_rng(4, "mt")
+        keys = [rng.random_bytes(4) for _ in range(500)]
+        for i, key in enumerate(keys):
+            table.put(key, str(i).encode())
+        out = [k for k, _ in table.items()]
+        assert out == sorted(set(keys))
+
+    def test_items_from(self):
+        table = MemTable()
+        for b in (1, 3, 5, 7):
+            table.put(bytes([b]), b"v")
+        assert [k for k, _ in table.items_from(bytes([4]))] == [
+            bytes([5]), bytes([7])]
+
+    def test_items_from_past_end(self):
+        table = MemTable()
+        table.put(b"a", b"v")
+        assert list(table.items_from(b"z")) == []
+
+
+class TestSizeAccounting:
+    def test_bytes_grow_with_inserts(self):
+        table = MemTable()
+        before = table.approximate_bytes
+        table.put(b"key", b"x" * 100)
+        assert table.approximate_bytes > before + 100
+
+    def test_overwrite_adjusts_bytes(self):
+        table = MemTable()
+        table.put(b"key", b"x" * 100)
+        size_large = table.approximate_bytes
+        table.put(b"key", b"x")
+        assert table.approximate_bytes < size_large
+
+
+@given(st.dictionaries(st.binary(min_size=1, max_size=6),
+                       st.binary(max_size=10), max_size=80))
+@settings(max_examples=60)
+def test_matches_dict_model(model):
+    table = MemTable()
+    for key, value in model.items():
+        table.put(key, value)
+    assert len(table) == len(model)
+    for key, value in model.items():
+        assert table.get(key).value == value
+    assert [k for k, _ in table.items()] == sorted(model)

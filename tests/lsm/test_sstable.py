@@ -1,0 +1,156 @@
+"""SSTable builder/reader tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError, CorruptionError
+from repro.common.rng import make_rng
+from repro.filters.bloom import BloomFilterBuilder
+from repro.lsm.memtable import TOMBSTONE, Entry
+from repro.lsm.options import CostModel
+from repro.lsm.sstable import SSTableBuilder, SSTableReader
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+from repro.storage.page_cache import PageCache
+
+COSTS = CostModel()
+
+
+@pytest.fixture()
+def env():
+    clock = SimClock()
+    device = StorageDevice(clock)
+    cache = PageCache(device, 64 * device.model.block_size)
+    return clock, device, cache
+
+
+def build_table(device, items, path="sst/0.sst", filter_builder=None):
+    builder = SSTableBuilder(device, path, 4096, filter_builder)
+    for key, entry in items:
+        builder.add(key, entry)
+    return builder.finish()
+
+
+def sample_items(n=2000, value_size=40):
+    rng = make_rng(8, "sst")
+    keys = sorted({rng.random_bytes(5) for _ in range(n)})
+    return [(k, Entry(bytes([k[0]]) * value_size)) for k in keys]
+
+
+class TestBuildAndGet:
+    def test_point_lookups(self, env):
+        _, device, cache = env
+        items = sample_items()
+        table = build_table(device, items)
+        for key, entry in items[::37]:
+            assert table.reader.get(key, cache, COSTS).value == entry.value
+        assert table.reader.get(b"\x00" * 5, cache, COSTS) is None
+
+    def test_tombstones_survive(self, env):
+        _, device, cache = env
+        table = build_table(device, [(b"aa", TOMBSTONE), (b"bb", Entry(b"v"))])
+        assert table.reader.get(b"aa", cache, COSTS).is_tombstone
+
+    def test_metadata(self, env):
+        _, device, _ = env
+        items = sample_items(500)
+        table = build_table(device, items)
+        assert table.min_key == items[0][0]
+        assert table.max_key == items[-1][0]
+        assert table.num_entries == len(items)
+        assert table.covers(items[3][0])
+        assert not table.covers(b"\x00" * 5) or items[0][0] == b"\x00" * 5
+
+    def test_multi_block_layout(self, env):
+        _, device, _ = env
+        table = build_table(device, sample_items(3000, value_size=60))
+        assert table.reader.num_blocks > 10
+
+    def test_filter_attached(self, env):
+        _, device, _ = env
+        items = sample_items(300)
+        table = build_table(device, items,
+                            filter_builder=BloomFilterBuilder(10))
+        assert all(table.filter.may_contain(k) for k, _ in items)
+
+    def test_ascending_order_enforced(self, env):
+        _, device, _ = env
+        builder = SSTableBuilder(device, "sst/x.sst", 4096)
+        builder.add(b"b", Entry(b"v"))
+        with pytest.raises(ConfigError):
+            builder.add(b"a", Entry(b"v"))
+
+    def test_empty_table_rejected(self, env):
+        _, device, _ = env
+        builder = SSTableBuilder(device, "sst/x.sst", 4096)
+        with pytest.raises(ConfigError):
+            builder.finish()
+
+    def test_double_finish_rejected(self, env):
+        _, device, _ = env
+        builder = SSTableBuilder(device, "sst/x.sst", 4096)
+        builder.add(b"a", Entry(b"v"))
+        builder.finish()
+        with pytest.raises(ConfigError):
+            builder.finish()
+
+
+class TestIteration:
+    def test_iterate_from_start(self, env):
+        _, device, cache = env
+        items = sample_items(800)
+        table = build_table(device, items)
+        assert list(table.reader.iterate_from(b"", cache)) == [
+            (k, e) for k, e in items]
+
+    def test_iterate_from_midpoint(self, env):
+        _, device, cache = env
+        items = sample_items(800)
+        table = build_table(device, items)
+        mid = items[400][0]
+        got = [k for k, _ in table.reader.iterate_from(mid, cache)]
+        assert got == [k for k, _ in items[400:]]
+
+    def test_iterate_past_end(self, env):
+        _, device, cache = env
+        table = build_table(device, sample_items(100))
+        assert list(table.reader.iterate_from(b"\xff" * 6, cache)) == []
+
+
+class TestReopen:
+    def test_open_from_disk(self, env):
+        _, device, cache = env
+        items = sample_items(600)
+        build_table(device, items, path="sst/7.sst")
+        reader = SSTableReader.open(device, "sst/7.sst")
+        assert reader.num_entries == len(items)
+        min_key, max_key = reader.properties()
+        assert (min_key, max_key) == (items[0][0], items[-1][0])
+        for key, entry in items[::53]:
+            assert reader.get(key, cache, COSTS).value == entry.value
+
+    def test_corrupt_magic_detected(self, env):
+        _, device, _ = env
+        device.create_file("sst/bad.sst", b"\x00" * 64)
+        with pytest.raises(CorruptionError):
+            SSTableReader.open(device, "sst/bad.sst")
+
+    def test_truncated_file_detected(self, env):
+        _, device, _ = env
+        device.create_file("sst/tiny.sst", b"ab")
+        with pytest.raises(CorruptionError):
+            SSTableReader.open(device, "sst/tiny.sst")
+
+
+class TestTimingBehaviour:
+    def test_get_costs_io_once_then_cache(self, env):
+        clock, device, cache = env
+        items = sample_items(500)
+        table = build_table(device, items)
+        key = items[50][0]
+        t0 = clock.now_us
+        table.reader.get(key, cache, COSTS)
+        cold = clock.now_us - t0
+        t1 = clock.now_us
+        table.reader.get(key, cache, COSTS)
+        warm = clock.now_us - t1
+        assert cold > 3 * warm

@@ -1,0 +1,95 @@
+"""Level/version structure tests."""
+
+import pytest
+
+from repro.common.errors import LSMError
+from repro.lsm.version import Version
+
+
+class FakeReader:
+    pass
+
+
+def fake_table(path, min_key, max_key, entries=10, size=1000):
+    from repro.lsm.sstable import SSTable
+    return SSTable(path=path, reader=FakeReader(), filter=None,
+                   min_key=min_key, max_key=max_key,
+                   num_entries=entries, size_bytes=size)
+
+
+class TestL0:
+    def test_newest_first(self):
+        v = Version(4)
+        v.add_l0(fake_table("1", b"a", b"z"))
+        v.add_l0(fake_table("2", b"a", b"z"))
+        assert [t.path for t in v.levels[0]] == ["2", "1"]
+
+    def test_candidates_include_all_covering_l0(self):
+        v = Version(4)
+        v.add_l0(fake_table("1", b"a", b"m"))
+        v.add_l0(fake_table("2", b"k", b"z"))
+        assert [t.path for t in v.candidates_for_key(b"l")] == ["2", "1"]
+        assert [t.path for t in v.candidates_for_key(b"b")] == ["1"]
+
+
+class TestDeepLevels:
+    def test_binary_search_finds_covering_table(self):
+        v = Version(4)
+        v.install(1, [fake_table("a", b"a", b"f"),
+                      fake_table("b", b"g", b"m"),
+                      fake_table("c", b"n", b"z")], [])
+        assert [t.path for t in v.candidates_for_key(b"h")] == ["b"]
+        assert [t.path for t in v.candidates_for_key(b"zz")] == []
+
+    def test_gap_between_tables(self):
+        v = Version(4)
+        v.install(1, [fake_table("a", b"a", b"c"),
+                      fake_table("b", b"x", b"z")], [])
+        assert list(v.candidates_for_key(b"m")) == []
+
+    def test_overlap_rejected(self):
+        v = Version(4)
+        with pytest.raises(LSMError):
+            v.install(1, [fake_table("a", b"a", b"m"),
+                          fake_table("b", b"k", b"z")], [])
+
+    def test_install_removes_inputs(self):
+        v = Version(4)
+        t0 = fake_table("old", b"a", b"z")
+        v.add_l0(t0)
+        merged = fake_table("new", b"a", b"z")
+        v.install(1, [merged], [t0])
+        assert v.levels[0] == []
+        assert [t.path for t in v.levels[1]] == ["new"]
+
+    def test_search_correct_after_reinstall(self):
+        # The cached max-key index must invalidate on install.
+        v = Version(4)
+        v.install(1, [fake_table("a", b"a", b"c")], [])
+        assert next(v.candidates_for_key(b"b")).path == "a"
+        v.install(1, [fake_table("b", b"d", b"f")], [])
+        assert next(v.candidates_for_key(b"e")).path == "b"
+
+
+class TestQueries:
+    def test_overlapping(self):
+        v = Version(4)
+        v.install(1, [fake_table("a", b"a", b"f"),
+                      fake_table("b", b"g", b"m")], [])
+        assert [t.path for t in v.overlapping(1, b"e", b"h")] == ["a", "b"]
+        assert v.overlapping(1, b"n", b"z") == []
+
+    def test_stats(self):
+        v = Version(4)
+        v.add_l0(fake_table("1", b"a", b"z", entries=5, size=100))
+        v.install(2, [fake_table("2", b"a", b"z", entries=7, size=300)], [])
+        assert v.total_tables() == 2
+        assert v.level_bytes(2) == 300
+        rows = v.describe()
+        assert {r["level"] for r in rows} == {0, 2}
+
+    def test_all_tables(self):
+        v = Version(4)
+        v.add_l0(fake_table("1", b"a", b"z"))
+        v.install(3, [fake_table("2", b"a", b"z")], [])
+        assert [t.path for t in v.all_tables()] == ["1", "2"]

@@ -1,0 +1,64 @@
+"""Background load generator tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.storage.background import BackgroundLoad, LoadModel
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+from repro.storage.page_cache import PageCache
+
+
+def make_setup(capacity_blocks=8, rate=4000.0):
+    clock = SimClock()
+    device = StorageDevice(clock)
+    cache = PageCache(device, capacity_blocks * device.model.block_size)
+    return clock, device, cache, BackgroundLoad(cache, LoadModel(rate))
+
+
+class TestRunFor:
+    def test_advances_clock(self):
+        clock, _, _, load = make_setup()
+        load.run_for(1_000_000.0)
+        assert clock.now_us == pytest.approx(1_000_000.0)
+
+    def test_displaces_cached_pages(self):
+        _, device, cache, load = make_setup(capacity_blocks=4)
+        device.create_file("a", b"x" * device.model.block_size)
+        cache.read_block("a", 0)
+        load.run_for(load.eviction_wait_us())
+        assert not cache.contains("a", 0)
+
+    def test_short_wait_does_not_displace(self):
+        _, device, cache, load = make_setup(capacity_blocks=8)
+        device.create_file("a", b"x" * device.model.block_size)
+        cache.read_block("a", 0)
+        load.run_for(100.0)  # far too short for any page fault
+        assert cache.contains("a", 0)
+
+    def test_insertion_capped(self):
+        _, _, cache, load = make_setup(capacity_blocks=4, rate=1e9)
+        inserted = load.run_for(10_000_000.0)
+        assert inserted <= 2 * 4  # at most twice the cache's page capacity
+
+    def test_negative_duration_rejected(self):
+        _, _, _, load = make_setup()
+        with pytest.raises(ConfigError):
+            load.run_for(-1.0)
+
+
+class TestEvictionWait:
+    def test_wait_scales_with_cache_size(self):
+        _, _, _, small = make_setup(capacity_blocks=4)
+        _, _, _, big = make_setup(capacity_blocks=64)
+        assert big.eviction_wait_us() > small.eviction_wait_us()
+
+    def test_wait_scales_inversely_with_rate(self):
+        _, _, _, slow = make_setup(rate=100.0)
+        _, _, _, fast = make_setup(rate=10_000.0)
+        assert slow.eviction_wait_us() > fast.eviction_wait_us()
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ConfigError):
+        LoadModel(0.0)

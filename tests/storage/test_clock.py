@@ -1,0 +1,59 @@
+"""Simulated clock tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.storage.clock import SimClock
+
+
+class TestCharge:
+    def test_advances(self):
+        clock = SimClock()
+        clock.charge(5.0)
+        clock.charge(2.5)
+        assert clock.now_us == pytest.approx(7.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock().charge(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock(-5.0)
+
+
+class TestAdvanceTo:
+    def test_jumps_forward(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now_us == 100.0
+
+    def test_never_goes_backward(self):
+        clock = SimClock(50.0)
+        clock.advance_to(10.0)
+        assert clock.now_us == 50.0
+
+
+class TestMeasure:
+    def test_elapsed_within_block(self):
+        clock = SimClock()
+        with clock.measure() as handle:
+            clock.charge(12.0)
+        assert handle.elapsed_us == pytest.approx(12.0)
+
+    def test_elapsed_frozen_after_block(self):
+        clock = SimClock()
+        with clock.measure() as handle:
+            clock.charge(3.0)
+        clock.charge(100.0)
+        assert handle.elapsed_us == pytest.approx(3.0)
+
+    def test_nested_measures(self):
+        clock = SimClock()
+        with clock.measure() as outer:
+            clock.charge(1.0)
+            with clock.measure() as inner:
+                clock.charge(2.0)
+            clock.charge(3.0)
+        assert inner.elapsed_us == pytest.approx(2.0)
+        assert outer.elapsed_us == pytest.approx(6.0)

@@ -1,0 +1,104 @@
+"""Simulated storage device tests."""
+
+import pytest
+
+from repro.common.errors import FileNotFoundInStoreError, ReadOutOfBoundsError
+from repro.storage.clock import SimClock
+from repro.storage.device import DeviceModel, StorageDevice
+
+
+@pytest.fixture()
+def device():
+    return StorageDevice(SimClock())
+
+
+class TestFiles:
+    def test_create_and_read(self, device):
+        device.create_file("a", b"hello world")
+        assert device.read("a", 0, 5) == b"hello"
+        assert device.read("a", 6, 5) == b"world"
+
+    def test_append(self, device):
+        device.append("log", b"aa")
+        device.append("log", b"bb")
+        assert device.read("log", 0, 4) == b"aabb"
+
+    def test_delete(self, device):
+        device.create_file("a", b"x")
+        device.delete_file("a")
+        assert not device.exists("a")
+        with pytest.raises(FileNotFoundInStoreError):
+            device.read("a", 0, 1)
+
+    def test_missing_file(self, device):
+        with pytest.raises(FileNotFoundInStoreError):
+            device.file_size("nope")
+
+    def test_list_files_sorted(self, device):
+        device.create_file("b", b"")
+        device.create_file("a", b"")
+        assert device.list_files() == ["a", "b"]
+
+    def test_out_of_bounds_read(self, device):
+        device.create_file("a", b"abc")
+        with pytest.raises(ReadOutOfBoundsError):
+            device.read("a", 2, 5)
+        with pytest.raises(ReadOutOfBoundsError):
+            device.read("a", -1, 1)
+
+
+class TestLatency:
+    def test_read_charges_time(self, device):
+        device.create_file("a", b"x" * 100)
+        before = device.clock.now_us
+        device.read("a", 0, 100)
+        # A single-block read should cost tens of microseconds.
+        elapsed = device.clock.now_us - before
+        assert 5.0 < elapsed < 100.0
+
+    def test_multiblock_read_costs_more(self):
+        clock = SimClock()
+        model = DeviceModel(read_latency_sigma=0.0)  # deterministic
+        device = StorageDevice(clock, model)
+        device.create_file("a", b"x" * (model.block_size * 4))
+        t0 = clock.now_us
+        device.read("a", 0, 10)
+        one_block = clock.now_us - t0
+        t1 = clock.now_us
+        device.read("a", 0, model.block_size * 4)
+        four_blocks = clock.now_us - t1
+        assert four_blocks > one_block
+
+    def test_deterministic_with_same_seed(self):
+        def run():
+            device = StorageDevice(SimClock())
+            device.create_file("a", b"x" * 8192)
+            for _ in range(10):
+                device.read("a", 0, 100)
+            return device.clock.now_us
+        assert run() == run()
+
+
+class TestBlocks:
+    def test_read_block(self, device):
+        block = device.model.block_size
+        device.create_file("a", bytes(range(256)) * (block // 256) + b"tail")
+        assert len(device.read_block("a", 0)) == block
+        assert device.read_block("a", 1) == b"tail"
+
+    def test_read_block_out_of_range(self, device):
+        device.create_file("a", b"abc")
+        with pytest.raises(ReadOutOfBoundsError):
+            device.read_block("a", 1)
+
+    def test_num_blocks(self, device):
+        block = device.model.block_size
+        device.create_file("a", b"x" * (block + 1))
+        assert device.num_blocks("a") == 2
+
+    def test_stats_counted(self, device):
+        device.create_file("a", b"x" * 100)
+        device.read("a", 0, 50)
+        assert device.stats.reads == 1
+        assert device.stats.writes == 1
+        assert device.stats.bytes_written == 100

@@ -1,0 +1,114 @@
+"""Page cache tests: LRU behaviour and the timing asymmetry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.storage.clock import SimClock
+from repro.storage.device import DeviceModel, StorageDevice
+from repro.storage.page_cache import PageCache
+
+
+def make_cache(capacity_blocks=4):
+    clock = SimClock()
+    device = StorageDevice(clock, DeviceModel())
+    cache = PageCache(device, capacity_blocks * device.model.block_size)
+    return clock, device, cache
+
+
+class TestReadThrough:
+    def test_miss_then_hit(self):
+        clock, device, cache = make_cache()
+        device.create_file("a", b"x" * device.model.block_size)
+        t0 = clock.now_us
+        cache.read("a", 0, 10)
+        miss_cost = clock.now_us - t0
+        t1 = clock.now_us
+        cache.read("a", 0, 10)
+        hit_cost = clock.now_us - t1
+        # The attack's core signal: a cached read is far cheaper.
+        assert hit_cost < miss_cost / 5
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_content_correct_across_blocks(self):
+        _, device, cache = make_cache()
+        block = device.model.block_size
+        payload = bytes((i % 251) for i in range(3 * block))
+        device.create_file("a", payload)
+        assert cache.read("a", block - 10, 20) == payload[block - 10 : block + 10]
+
+    def test_contains_is_free(self):
+        clock, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        t0 = clock.now_us
+        assert not cache.contains("a", 0)
+        assert clock.now_us == t0
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        _, device, cache = make_cache(capacity_blocks=2)
+        block = device.model.block_size
+        device.create_file("a", b"x" * (block * 3))
+        cache.read_block("a", 0)
+        cache.read_block("a", 1)
+        cache.read_block("a", 2)  # evicts block 0
+        assert not cache.contains("a", 0)
+        assert cache.contains("a", 1)
+        assert cache.contains("a", 2)
+        assert cache.stats.evictions == 1
+
+    def test_lru_order_updated_on_hit(self):
+        _, device, cache = make_cache(capacity_blocks=2)
+        block = device.model.block_size
+        device.create_file("a", b"x" * (block * 3))
+        cache.read_block("a", 0)
+        cache.read_block("a", 1)
+        cache.read_block("a", 0)  # refresh 0
+        cache.read_block("a", 2)  # should evict 1, not 0
+        assert cache.contains("a", 0)
+        assert not cache.contains("a", 1)
+
+    def test_foreign_insertion_displaces(self):
+        _, device, cache = make_cache(capacity_blocks=2)
+        device.create_file("a", b"x" * device.model.block_size)
+        cache.read_block("a", 0)
+        cache.insert_foreign("bg", 0, device.model.block_size)
+        cache.insert_foreign("bg", 1, device.model.block_size)
+        assert not cache.contains("a", 0)
+
+    def test_capacity_respected(self):
+        _, device, cache = make_cache(capacity_blocks=3)
+        for i in range(10):
+            cache.insert_foreign("bg", i, device.model.block_size)
+        assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_invalidate_file(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        cache.read_block("a", 0)
+        cache.invalidate_file("a")
+        assert not cache.contains("a", 0)
+        assert cache.used_bytes == 0
+
+    def test_clear(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        cache.read_block("a", 0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_tiny_capacity_rejected(self):
+        clock = SimClock()
+        device = StorageDevice(clock)
+        with pytest.raises(ConfigError):
+            PageCache(device, 10)
+
+
+def test_hit_rate_stat():
+    _, device, cache = make_cache()
+    device.create_file("a", b"x" * 100)
+    cache.read_block("a", 0)
+    cache.read_block("a", 0)
+    cache.read_block("a", 0)
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,45 @@
+"""ACL encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError, ServiceError
+from repro.system.acl import Acl, pack_value, unpack_value
+
+
+class TestAclSemantics:
+    def test_owner_reads(self):
+        assert Acl(owner=5).allows_read(5)
+
+    def test_other_user_denied(self):
+        assert not Acl(owner=5).allows_read(6)
+
+    def test_public_read(self):
+        assert Acl(owner=5, public_read=True).allows_read(6)
+
+
+class TestPacking:
+    def test_round_trip(self):
+        acl, payload = unpack_value(pack_value(Acl(7, True), b"data"))
+        assert acl == Acl(7, True)
+        assert payload == b"data"
+
+    def test_empty_payload(self):
+        acl, payload = unpack_value(pack_value(Acl(1), b""))
+        assert payload == b""
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ServiceError):
+            pack_value(Acl(70_000), b"")
+
+    def test_truncated_value(self):
+        with pytest.raises(CorruptionError):
+            unpack_value(b"\x01")
+
+    @given(st.integers(0, 0xFFFF), st.booleans(), st.binary(max_size=50))
+    def test_round_trip_property(self, owner, public, payload):
+        acl, got = unpack_value(pack_value(Acl(owner, public), payload))
+        assert acl.owner == owner
+        assert acl.public_read == public
+        assert got == payload

@@ -1,0 +1,75 @@
+"""Rate-limiting mitigation tests (paper section 11)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.system.ratelimit import RateLimitedService, RateLimitPolicy
+from repro.workloads.datasets import ATTACKER_USER, OWNER_USER
+
+
+@pytest.fixture()
+def limited(surf_env):
+    return RateLimitedService(surf_env.service,
+                              RateLimitPolicy(requests_per_second=1000,
+                                              burst=4))
+
+
+class TestThrottling:
+    def test_burst_then_stall(self, limited, surf_env):
+        start = surf_env.clock.now_us
+        for _ in range(4):
+            limited.get(ATTACKER_USER, b"\x01" * 5)
+        burst_elapsed = surf_env.clock.now_us - start
+        limited.get(ATTACKER_USER, b"\x01" * 5)  # fifth request must stall
+        total_elapsed = surf_env.clock.now_us - start
+        assert limited.stalled_requests == 1
+        # 1000 req/s => ~1000 us between tokens once the burst is spent.
+        assert total_elapsed - burst_elapsed > 500.0
+
+    def test_sustained_rate_enforced(self, limited, surf_env):
+        start = surf_env.clock.now_us
+        n = 50
+        for _ in range(n):
+            limited.get(ATTACKER_USER, b"\x02" * 5)
+        elapsed_s = (surf_env.clock.now_us - start) / 1e6
+        effective_rate = n / elapsed_s
+        assert effective_rate < 1500  # near the 1000/s policy
+
+    def test_tokens_refill_after_idle(self, limited, surf_env):
+        for _ in range(8):
+            limited.get(ATTACKER_USER, b"\x03" * 5)
+        surf_env.clock.charge(1e6)  # one idle second refills the bucket
+        stalls_before = limited.stalled_requests
+        for _ in range(4):
+            limited.get(ATTACKER_USER, b"\x03" * 5)
+        assert limited.stalled_requests == stalls_before
+
+    def test_per_user_buckets(self, limited):
+        for _ in range(4):
+            limited.get(ATTACKER_USER, b"\x04" * 5)
+        stalls = limited.stalled_requests
+        limited.get(OWNER_USER, b"\x04" * 5)  # other user unaffected
+        assert limited.stalled_requests == stalls
+
+
+class TestSideChannelIntact:
+    def test_response_time_still_measures_processing(self, limited, surf_env):
+        # The stall happens before dispatch; get_timed still reflects only
+        # service processing, so the leak persists — rate limiting slows
+        # the attack down without closing the channel (section 11).
+        for _ in range(10):
+            _, elapsed = limited.get_timed(ATTACKER_USER, b"\x05" * 5)
+            assert elapsed < 100.0  # processing-scale, not stall-scale
+
+    def test_responses_unchanged(self, limited, surf_env):
+        key = surf_env.keys[0]
+        assert (limited.get(ATTACKER_USER, key).status
+                == surf_env.service.get(ATTACKER_USER, key).status)
+
+
+class TestPolicy:
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            RateLimitPolicy(requests_per_second=0)
+        with pytest.raises(ConfigError):
+            RateLimitPolicy(requests_per_second=10, burst=0)

@@ -1,0 +1,40 @@
+"""Clustered (skewed) dataset generator tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.analysis.fpr import leaf_depth_distribution
+from repro.workloads.keygen import cluster_prefixes, clustered_dataset, sha1_dataset
+
+
+class TestClusteredDataset:
+    def test_all_keys_in_known_clusters(self):
+        keys = clustered_dataset(2000, 5, num_clusters=16, seed=3)
+        prefixes = set(cluster_prefixes(16, 2, seed=3))
+        assert len(keys) == 2000
+        assert all(k[:2] in prefixes for k in keys)
+
+    def test_deterministic(self):
+        assert clustered_dataset(500, 5, seed=3) == clustered_dataset(
+            500, 5, seed=3)
+
+    def test_distinct_cluster_prefixes(self):
+        prefixes = cluster_prefixes(64, 2, seed=0)
+        assert len(prefixes) == len(set(prefixes)) == 64
+        assert all(len(p) == 2 for p in prefixes)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            clustered_dataset(10, 5, cluster_prefix_len=5)
+        with pytest.raises(ConfigError):
+            clustered_dataset(10, 5, num_clusters=0)
+
+    def test_skew_deepens_pruned_prefixes(self):
+        # The section-8 mechanism: clustering pushes trie leaves deeper
+        # than uniform keys of the same count.
+        uniform = sha1_dataset(20_000, 5, seed=4)
+        clustered = clustered_dataset(20_000, 5, num_clusters=64, seed=4)
+        mean = lambda keys: sum(
+            d * c for d, c in leaf_depth_distribution(keys).items()
+        ) / len(keys)
+        assert mean(clustered) > mean(uniform) + 0.5
