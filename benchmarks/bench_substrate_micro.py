@@ -55,6 +55,43 @@ def test_db_get_filtered_miss(benchmark, loaded_db):
     benchmark(lambda: [loaded_db.get(p) for p in PROBES])
 
 
+@pytest.fixture(scope="module")
+def loaded_db_no_decoded_cache():
+    db = LSMTree(LSMOptions(
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+        decoded_cache_entries=0))
+    db.bulk_load([(k, k[::-1] * 4) for k in KEYS])
+    return db
+
+
+def test_db_get_hit_warm_after(benchmark, loaded_db):
+    """Repeated warm gets, new stack: ``get_many`` + decoded-block cache.
+
+    Acceptance target: >= 2x faster than ``test_db_get_hit_warm_before``
+    (same workload through the seed-equivalent path).  Wall-clock only —
+    the simulated traces of the two paths are bit-identical (see
+    tests/integration/test_decoded_equivalence.py).
+    """
+    for key in HITS:  # warm both the page cache and the decoded layer
+        loaded_db.get(key)
+    benchmark(loaded_db.get_many, HITS)
+
+
+def test_db_get_hit_warm_before(benchmark, loaded_db_no_decoded_cache):
+    """Same warm workload through the seed-equivalent path: a plain
+    ``get`` loop with the decoded layer disabled, so every hit re-reads,
+    re-checksums and re-searches its block from raw bytes."""
+    db = loaded_db_no_decoded_cache
+    for key in HITS:
+        db.get(key)
+    benchmark(lambda: [db.get(key) for key in HITS])
+
+
+def test_db_get_many_batch(benchmark, loaded_db):
+    keys = [k for pair in zip(HITS, PROBES) for k in pair]
+    benchmark(loaded_db.get_many, keys)
+
+
 def test_db_range_query(benchmark, loaded_db):
     low = KEYS[len(KEYS) // 2]
     high = KEYS[len(KEYS) // 2 + 200]

@@ -37,14 +37,19 @@ class Histogram:
     def __init__(self, bucket_width: float, overflow_at: float) -> None:
         if bucket_width <= 0:
             raise ConfigError(f"bucket width must be positive, got {bucket_width}")
-        if overflow_at <= 0 or overflow_at % bucket_width:
+        # A float modulo here would reject valid widths (25.0 % 0.1 is
+        # 0.0999...); test divisibility on the rounded bucket count instead,
+        # with a tolerance scaled to the ratio's magnitude.
+        ratio = overflow_at / bucket_width if overflow_at > 0 else 0.0
+        num_buckets = round(ratio)
+        if num_buckets < 1 or abs(ratio - num_buckets) > 1e-9 * max(1.0, ratio):
             raise ConfigError(
                 f"overflow threshold {overflow_at} must be a positive multiple "
                 f"of the bucket width {bucket_width}"
             )
         self.bucket_width = bucket_width
         self.overflow_at = overflow_at
-        self._counts: List[int] = [0] * int(overflow_at / bucket_width)
+        self._counts: List[int] = [0] * num_buckets
         self._overflow = 0
         self._total = 0
 
@@ -53,7 +58,12 @@ class Histogram:
         if sample >= self.overflow_at:
             self._overflow += 1
         else:
-            index = max(0, int(sample // self.bucket_width))
+            # Clamp both ends: negatives go to the first bucket, and float
+            # division of a sample just under the threshold may round up to
+            # the bucket count (e.g. widths like 0.1 with no exact binary
+            # representation).
+            index = min(len(self._counts) - 1,
+                        max(0, int(sample // self.bucket_width)))
             self._counts[index] += 1
         self._total += 1
 

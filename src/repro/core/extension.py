@@ -24,6 +24,16 @@ from repro.filters.hashing import SUFFIX_HASH_SEED, fnv1a_64_init, fnv1a_64_upda
 from repro.system.responses import Status
 
 
+def _prober_for(oracle) -> "Callable[[bytes], Status]":
+    """``oracle.prober()`` when offered, else the plain ``probe`` method.
+
+    Range-attack adapters and test doubles only implement ``probe``; the
+    fast path is an optimization, never a requirement.
+    """
+    factory = getattr(oracle, "prober", None)
+    return factory() if factory is not None else oracle.probe
+
+
 @dataclass(frozen=True)
 class HashConstraint:
     """SuRF-Hash pruning data: required hash bits of the stored key."""
@@ -84,6 +94,7 @@ def extend_prefix_variable(oracle: QueryOracle, prefix: bytes,
     found: list = []
     queries = 0
     considered = 0
+    probe = _prober_for(oracle)
 
     def candidates():
         yield prefix
@@ -97,7 +108,7 @@ def extend_prefix_variable(oracle: QueryOracle, prefix: bytes,
             return VariableExtensionResult(found, queries, considered,
                                            exhausted=False)
         queries += 1
-        status = oracle.probe(candidate)
+        status = probe(candidate)
         if status in (Status.UNAUTHORIZED, Status.OK):
             found.append(candidate)
             if not find_all:
@@ -132,37 +143,46 @@ class VariableExtensionResult:
 
 def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
                   hash_constraint: Optional[HashConstraint] = None,
-                  max_queries: Optional[int] = None) -> ExtensionResult:
+                  max_queries: Optional[int] = None,
+                  probe=None) -> ExtensionResult:
     """Brute-force the suffix space of ``prefix`` (paper step 3).
 
     Stops at the first UNAUTHORIZED/OK response.  ``max_queries`` bounds
-    the probes actually issued (pruned candidates are free).
+    the probes actually issued (pruned candidates are free).  ``probe``
+    may supply a pre-built fast prober (``oracle.prober()``) so a caller
+    extending many prefixes hoists the per-query overhead once; it must be
+    observationally equivalent to ``oracle.probe``.
     """
     if len(prefix) > key_width:
         raise AttackError(
             f"prefix of {len(prefix)} bytes exceeds key width {key_width}"
         )
+    if probe is None:
+        probe = _prober_for(oracle)
     suffix_len = key_width - len(prefix)
     space = suffix_space_size(len(prefix), key_width)
     mask = None
     prefix_state = None
+    target_bits = 0
     if hash_constraint is not None and hash_constraint.num_bits:
         mask = (1 << hash_constraint.num_bits) - 1
         prefix_state = fnv1a_64_update(fnv1a_64_init(SUFFIX_HASH_SEED), prefix)
+        target_bits = hash_constraint.value
 
     queries = 0
     considered = 0
+    positive = (Status.UNAUTHORIZED, Status.OK)
     for value in range(space):
         suffix = value.to_bytes(suffix_len, "big") if suffix_len else b""
         considered += 1
         if mask is not None:
-            if fnv1a_64_update(prefix_state, suffix) & mask != hash_constraint.value:
+            if fnv1a_64_update(prefix_state, suffix) & mask != target_bits:
                 continue  # pruned for free: hash bits cannot match
         if max_queries is not None and queries >= max_queries:
             return ExtensionResult(None, queries, considered, exhausted=False)
         queries += 1
-        status = oracle.probe(prefix + suffix)
-        if status in (Status.UNAUTHORIZED, Status.OK):
+        status = probe(prefix + suffix)
+        if status in positive:
             return ExtensionResult(prefix + suffix, queries, considered,
                                    exhausted=False)
     return ExtensionResult(None, queries, considered, exhausted=True)

@@ -72,13 +72,30 @@ def learn_cutoff(service: KVService, attacker_user: int, key_width: int,
     samples: List[float] = []
     if counter is not None:
         counter.stage = STAGE_LEARNING
-    for index in range(num_samples):
-        key = rng.random_bytes(key_width)
+    # Sampling runs in batches bounded by the churn period, so each batch
+    # is one get_many_timed call (amortizing per-query Python overhead)
+    # and cache churn still lands on exactly the same query indices as the
+    # one-query-at-a-time loop did.  Key generation draws from the
+    # learning RNG stream in the same order as before; the service-side
+    # streams (cost jitter, device latency) are independent, so batching
+    # does not shift any draw.
+    if background is not None and churn_every < 1:
+        raise LearningError(
+            f"churn_every must be at least 1 with background load, "
+            f"got {churn_every}"
+        )
+    position = 0
+    while position < num_samples:
+        batch_size = num_samples - position
+        if background is not None:
+            batch_size = min(churn_every, batch_size)
+        keys = [rng.random_bytes(key_width) for _ in range(batch_size)]
         if counter is not None:
-            counter.charge(1)
-        _, elapsed = service.get_timed(attacker_user, key)
-        samples.append(elapsed)
-        if background is not None and (index + 1) % churn_every == 0:
+            counter.charge(batch_size)
+        timed = service.get_many_timed(attacker_user, keys)
+        samples.extend(elapsed for _, elapsed in timed)
+        position += batch_size
+        if background is not None and position % churn_every == 0:
             background.run_for(background.eviction_wait_us())
     # A remote attacker's observations are shifted by the network RTT
     # (section 4); when the whole distribution sits past the histogram
@@ -131,11 +148,11 @@ def learn_fine_cutoff(service: KVService, attacker_user: int, key_width: int,
         key = rng.random_bytes(key_width)
         if counter is not None:
             counter.charge(rounds + 1)
-        service.get_timed(attacker_user, key)  # warm any I/O into the cache
-        total = 0.0
-        for _ in range(rounds):
-            _, elapsed = service.get_timed(attacker_user, key)
-            total += elapsed
+        # One warm query (pulls any covered block into the page cache)
+        # plus ``rounds`` measurements, issued as a single batch; the warm
+        # query's time is discarded exactly as the sequential loop did.
+        timed = service.get_many_timed(attacker_user, [key] * (rounds + 1))
+        total = sum(elapsed for _, elapsed in timed[1:])
         averages.append(total / rounds)
     histogram = Histogram(FINE_BUCKET_WIDTH_US, OVERFLOW_AT_US)
     histogram.extend(averages)

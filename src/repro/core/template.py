@@ -133,12 +133,18 @@ class PrefixSiphoningAttack:
                     result: AttackResult) -> None:
         counter = self.oracle.counter
         found_keys: set = set()
+        # One fast prober shared across every suffix-space search: the
+        # per-request closure construction happens once here instead of
+        # once per prefix (and the per-probe overhead once per batch
+        # instead of once per query).
+        probe = self.oracle.prober()
         for candidate in kept:
             constraint = self.strategy.hash_constraint_for(candidate)
             extension = extend_prefix(
                 self.oracle, candidate.prefix, self.config.key_width,
                 hash_constraint=constraint,
                 max_queries=self.config.max_extension_queries,
+                probe=probe,
             )
             if extension.found and extension.key not in found_keys:
                 found_keys.add(extension.key)

@@ -1,8 +1,35 @@
-"""Plain bit array used by Bloom filters and succinct bitvectors."""
+"""Plain bit array used by Bloom filters and succinct bitvectors.
+
+Also home of the shared :func:`popcount` primitive: ``int.bit_count()``
+where the interpreter has it (Python >= 3.10), and a byte-table fallback
+for the 3.9 floor pinned by pyproject.  Rank/select directories and Bloom
+population counts are popcount-bound, so this one function choice shows up
+directly in filter construction wall-clock.
+"""
 
 from __future__ import annotations
 
 from repro.common.errors import ConfigError
+
+#: Set-bit count per byte value, the fallback popcount kernel.
+_BYTE_COUNTS = bytes(bin(value).count("1") for value in range(256))
+
+
+def _popcount_table(x: int) -> int:
+    """Portable popcount for non-negative ints (used below Python 3.10)."""
+    count = 0
+    while x:
+        count += _BYTE_COUNTS[x & 0xFF]
+        x >>= 8
+    return count
+
+
+try:  # pragma: no cover - exercised on Python >= 3.10 only
+    popcount = int.bit_count  # type: ignore[attr-defined]
+    _HAVE_BIT_COUNT = True
+except AttributeError:  # pragma: no cover - exercised on Python 3.9 only
+    popcount = _popcount_table
+    _HAVE_BIT_COUNT = False
 
 
 class BitArray:
@@ -44,7 +71,9 @@ class BitArray:
 
     def count(self) -> int:
         """Number of set bits."""
-        return sum(bin(b).count("1") for b in self._buf)
+        if _HAVE_BIT_COUNT:
+            return int.from_bytes(self._buf, "little").bit_count()
+        return sum(map(_BYTE_COUNTS.__getitem__, self._buf))
 
     def memory_bits(self) -> int:
         """Bits of storage used (capacity, not population)."""

@@ -13,14 +13,11 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.common.errors import ConfigError
+from repro.filters.bitarray import popcount as _popcount
 
 _WORD_BITS = 64
 #: One select sample is kept per this many set bits.
 SELECT_SAMPLE = 64
-
-
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
 
 
 class BitVector:

@@ -64,7 +64,12 @@ class LSMTree:
         self.device = device or StorageDevice(self.clock, rng=rng.spawn("device"))
         if self.device.clock is not self.clock:
             raise ConfigError("device must share the LSMTree's clock")
-        self.cache = cache or PageCache(self.device, self.options.page_cache_bytes)
+        # ``cache or ...`` would silently discard an *empty* caller cache
+        # (PageCache defines __len__, so a fresh one is falsy) and leave
+        # the caller churning an orphan while reads bypass it entirely.
+        self.cache = cache if cache is not None else PageCache(
+            self.device, self.options.page_cache_bytes,
+            decoded_capacity=self.options.decoded_cache_entries)
         self._rng = rng
         self._memtable = MemTable(rng.spawn("memtable"))
         self._wal = WriteAheadLog(self.device, "wal/current.wal")
@@ -257,6 +262,78 @@ class LSMTree:
         with self.clock.measure() as stopwatch:
             value = self.get(key)
         return value, stopwatch.elapsed_us
+
+    def getter(self):
+        """Fast-path point-read closure for batch callers.
+
+        Returns a ``key -> Optional[bytes]`` callable observationally
+        equivalent to :meth:`get` — same simulated charges drawn from the
+        same RNG streams, same stats — with the per-call attribute lookups
+        hoisted out of the loop.  The attack loops issue 10^5-10^6 gets per
+        experiment; this is where that Python overhead is amortized.
+        """
+        self._check_open()
+        costs = self.options.costs
+        stats = self.stats
+        cache = self.cache
+        candidates_for_key = self._version.candidates_for_key
+        base_cost = costs.get_base_cost_us + costs.memtable_lookup_cost_us
+        filter_cost = costs.filter_query_cost_us
+        jitter = costs.jitter
+        gauss = self._cost_rng.gauss
+        clock_charge = self.clock.charge
+
+        def get_one(key: bytes) -> Optional[bytes]:
+            stats.gets += 1
+            if jitter:
+                clock_charge(base_cost * max(0.1, gauss(1.0, jitter)))
+            else:
+                clock_charge(base_cost)
+            # The memtable is re-read per call: flushes swap it out.
+            entry = self._memtable.get(key)
+            if entry is not None:
+                stats.memtable_hits += 1
+                return entry.value
+            for table in candidates_for_key(key):
+                filt = table.filter
+                if filt is not None:
+                    stats.filter_checks += 1
+                    if jitter:
+                        clock_charge(filter_cost * max(0.1, gauss(1.0, jitter)))
+                    else:
+                        clock_charge(filter_cost)
+                    if not filt.may_contain(key):
+                        stats.filter_negatives += 1
+                        continue
+                stats.table_reads += 1
+                entry = table.reader.get(key, cache, costs)
+                if entry is not None:
+                    return entry.value
+            return None
+
+        return get_one
+
+    def get_many(self, keys: Iterable[bytes]) -> List[Optional[bytes]]:
+        """Batch point query: ``[self.get(k) for k in keys]``, amortized.
+
+        Identical simulated-time behaviour to the equivalent ``get`` loop
+        (the batch API only removes real-world Python overhead).
+        """
+        get_one = self.getter()
+        return [get_one(key) for key in keys]
+
+    def get_many_timed(self, keys: Iterable[bytes]
+                       ) -> List[Tuple[Optional[bytes], float]]:
+        """Batch ``get_timed``: per-key (value, simulated elapsed us)."""
+        get_one = self.getter()
+        clock = self.clock
+        out: List[Tuple[Optional[bytes], float]] = []
+        append = out.append
+        for key in keys:
+            start = clock.now_us
+            value = get_one(key)
+            append((value, clock.now_us - start))
+        return out
 
     def range_query(self, low: bytes, high: bytes,
                     limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:

@@ -159,6 +159,10 @@ class SSTableReader:
                  num_entries: Optional[int] = None) -> None:
         self.device = device
         self.path = path
+        # Decoded props/footer pinned at open (None when the reader was
+        # constructed straight from a builder and never read the file).
+        self._props: Optional[Block] = None
+        self._filter_handle: Optional[BlockHandle] = None
         if index_entries is None:
             index_entries, num_entries = self._load_metadata()
         self._index = index_entries
@@ -166,7 +170,13 @@ class SSTableReader:
 
     @classmethod
     def open(cls, device: StorageDevice, path: str) -> "SSTableReader":
-        """Open an existing table, reading its footer/props/index once."""
+        """Open an existing table, reading its footer/props/index once.
+
+        The decoded index, properties and filter location are pinned on the
+        reader, so later metadata queries (:meth:`properties`,
+        :meth:`load_filter`) reuse them instead of re-reading and
+        re-decoding the file.
+        """
         return cls(device, path)
 
     def _load_metadata(self) -> Tuple[List[Tuple[bytes, BlockHandle]], int]:
@@ -175,7 +185,7 @@ class SSTableReader:
             raise CorruptionError(f"{self.path!r} too small to be an SSTable")
         footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
         (props_off, props_len, index_off, index_len,
-         _filter_off, _filter_len, magic) = _FOOTER.unpack(footer)
+         filter_off, filter_len, magic) = _FOOTER.unpack(footer)
         if magic != _MAGIC:
             raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
         props = Block(self.device.read(self.path, props_off, props_len))
@@ -188,16 +198,26 @@ class SSTableReader:
         for key, entry in index_block.items():
             offset, length = _BLOCK_REF.unpack(entry.value)
             entries.append((key, BlockHandle(offset, length)))
+        self._props = props
+        self._filter_handle = BlockHandle(filter_off, filter_len)
         return entries, num_entries
 
     def properties(self) -> Tuple[bytes, bytes]:
-        """(min_key, max_key) re-read from the file (recovery path)."""
-        size = self.device.file_size(self.path)
-        footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
-        props_off, props_len, _, _, _, _, magic = _FOOTER.unpack(footer)
-        if magic != _MAGIC:
-            raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
-        props = Block(self.device.read(self.path, props_off, props_len))
+        """(min_key, max_key), from the pinned props block when available.
+
+        Readers opened from disk decoded the properties once at open;
+        builder-constructed readers (which never read the file) fall back
+        to reading it here — the recovery path either way, off the
+        measured query cycle.
+        """
+        props = self._props
+        if props is None:
+            size = self.device.file_size(self.path)
+            footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
+            props_off, props_len, _, _, _, _, magic = _FOOTER.unpack(footer)
+            if magic != _MAGIC:
+                raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
+            props = Block(self.device.read(self.path, props_off, props_len))
         min_entry = props.get(b"min_key")
         max_entry = props.get(b"max_key")
         if min_entry is None or max_entry is None:
@@ -228,9 +248,10 @@ class SSTableReader:
         if block_index is None:
             return None
         handle = self._index[block_index][1]
-        data = cache.read(self.path, handle.offset, handle.length)
+        block = cache.read_decoded(self.path, handle.offset, handle.length,
+                                   Block)
         self.device.clock.charge(costs.block_search_cost_us)
-        return Block(data).get(key)
+        return block.get(key)
 
     def iterate_from(self, low: bytes, cache: PageCache
                      ) -> Iterator[Tuple[bytes, Entry]]:
@@ -240,7 +261,8 @@ class SSTableReader:
             return
         for bi in range(start, len(self._index)):
             handle = self._index[bi][1]
-            block = Block(cache.read(self.path, handle.offset, handle.length))
+            block = cache.read_decoded(self.path, handle.offset,
+                                       handle.length, Block)
             index = block.lower_bound(low) if bi == start else 0
             for record_index in range(index, len(block)):
                 yield block.record_at(record_index)
@@ -248,19 +270,24 @@ class SSTableReader:
     def load_filter(self):
         """Deserialize the table's persisted filter block, or None.
 
-        Read directly from the device at open time (recovery path, off the
-        measured query cycle); the live filter is pinned in memory after.
+        Uses the filter location pinned at open when available; otherwise
+        reads the footer first (recovery path, off the measured query
+        cycle).  The live filter is pinned in memory by the caller after.
         """
-        size = self.device.file_size(self.path)
-        footer = self.device.read(self.path, size - _FOOTER.size, _FOOTER.size)
-        (_, _, _, _, filter_off, filter_len, magic) = _FOOTER.unpack(footer)
-        if magic != _MAGIC:
-            raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
-        if not filter_len:
+        handle = self._filter_handle
+        if handle is None:
+            size = self.device.file_size(self.path)
+            footer = self.device.read(self.path, size - _FOOTER.size,
+                                      _FOOTER.size)
+            (_, _, _, _, filter_off, filter_len, magic) = _FOOTER.unpack(footer)
+            if magic != _MAGIC:
+                raise CorruptionError(f"{self.path!r} has bad magic {magic:#x}")
+            handle = BlockHandle(filter_off, filter_len)
+        if not handle.length:
             return None
         from repro.filters.serialize import deserialize_filter
         return deserialize_filter(
-            self.device.read(self.path, filter_off, filter_len))
+            self.device.read(self.path, handle.offset, handle.length))
 
     @property
     def num_blocks(self) -> int:

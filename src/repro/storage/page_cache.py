@@ -11,13 +11,23 @@ eviction against this cache.
 The paper's setup caps RocksDB's DRAM at 2 GB via cgroups while the dataset
 is ~50 GB; the default capacity here is likewise a small fraction of a
 default experiment's on-device bytes.
+
+Beside the raw pages, the cache keeps a bounded LRU of *decoded* objects
+(parsed SSTable blocks) keyed by the byte range they were decoded from.  A
+decoded entry is only served while every underlying page is still resident,
+and serving it charges the simulated clock exactly what re-reading those
+pages would have charged — the decoded layer saves real (wall-clock) parse
+and checksum work without perturbing simulated time by a single
+microsecond.  Entries are invalidated together with their pages (eviction,
+``invalidate_file``, ``clear``), so compaction can never serve a stale
+block.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.common.errors import ConfigError
 from repro.storage.device import StorageDevice
@@ -33,6 +43,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Decoded-object layer counters (wall-clock optimization only; the
+    #: simulated charges of a decoded hit equal those of the page hits it
+    #: stands in for).
+    decoded_hits: int = 0
+    decoded_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -51,29 +66,53 @@ class PageCache:
     Keys are ``(path, block_index)`` pairs; values are block payloads.  All
     LSM reads funnel through :meth:`read`, which charges either a DRAM-scale
     hit cost or a full device read on miss.
+
+    ``decoded_capacity`` bounds the decoded-object side table (entries, not
+    bytes); ``None`` picks a default proportional to the page capacity and
+    ``0`` disables the layer entirely (every :meth:`read_decoded` then
+    decodes afresh, byte-for-byte what a plain :meth:`read` caller did).
     """
 
     def __init__(self, device: StorageDevice, capacity_bytes: int,
-                 hit_cost_us: float = CACHE_HIT_COST_US) -> None:
+                 hit_cost_us: float = CACHE_HIT_COST_US,
+                 decoded_capacity: Optional[int] = None) -> None:
         if capacity_bytes < device.model.block_size:
             raise ConfigError(
                 f"page cache capacity {capacity_bytes} smaller than one block "
                 f"({device.model.block_size})"
             )
+        if decoded_capacity is None:
+            decoded_capacity = max(64, capacity_bytes // device.model.block_size)
+        if decoded_capacity < 0:
+            raise ConfigError(
+                f"decoded capacity must be non-negative, got {decoded_capacity}"
+            )
         self.device = device
         self.capacity_bytes = capacity_bytes
         self.hit_cost_us = hit_cost_us
+        self.decoded_capacity = decoded_capacity
         self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
         self._bytes = 0
+        # Decoded objects keyed by (path, offset, length), plus a reverse
+        # index from each underlying page to the decoded keys built on it,
+        # so page eviction can invalidate dependents in O(dependents).
+        self._decoded: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
+        self._decoded_by_page: Dict[Tuple[str, int], Set[Tuple[str, int, int]]] = {}
         self.stats = CacheStats()
 
     # ----------------------------------------------------------------- access
 
     def read(self, path: str, offset: int, length: int) -> bytes:
-        """Read a byte range through the cache, block by block."""
+        """Read a byte range through the cache, block by block.
+
+        A zero-length read returns ``b""`` immediately: it touches no
+        device block, charges no simulated time, and records no stats.
+        """
+        if length == 0:
+            return b""
         block_size = self.device.model.block_size
         first = offset // block_size
-        last = (offset + length - 1) // block_size if length else first
+        last = (offset + length - 1) // block_size
         chunks = []
         for block_index in range(first, last + 1):
             chunks.append(self.read_block(path, block_index))
@@ -95,9 +134,57 @@ class PageCache:
         self._insert(key, block)
         return block
 
+    def read_decoded(self, path: str, offset: int, length: int,
+                     decode: Callable[[bytes], object]) -> object:
+        """Read a byte range and return it decoded, caching the result.
+
+        On a decoded hit (entry present *and* all underlying pages still
+        resident) this charges the clock and updates page stats/LRU order
+        exactly as the equivalent :meth:`read` would, then skips the
+        decode.  Any other case falls back to :meth:`read` + ``decode`` —
+        so the simulated-time trace is identical whether this layer is
+        enabled, disabled, or thrashing.
+        """
+        key = (path, offset, length)
+        obj = self._decoded.get(key)
+        if obj is not None:
+            block_size = self.device.model.block_size
+            first = offset // block_size
+            last = (offset + length - 1) // block_size if length else first
+            pages = self._pages
+            resident = True
+            for block_index in range(first, last + 1):
+                if (path, block_index) not in pages:
+                    resident = False
+                    break
+            if resident:
+                clock = self.device.clock
+                hit_cost = self.hit_cost_us
+                stats = self.stats
+                for block_index in range(first, last + 1):
+                    pages.move_to_end((path, block_index))
+                    stats.hits += 1
+                    clock.charge(hit_cost)
+                self._decoded.move_to_end(key)
+                stats.decoded_hits += 1
+                return obj
+            # Some page was evicted under the decoded entry: drop it and
+            # rebuild through the ordinary (charged) read path.
+            self._drop_decoded(key)
+        self.stats.decoded_misses += 1
+        data = self.read(path, offset, length)
+        obj = decode(data)
+        if self.decoded_capacity:
+            self._insert_decoded(key, obj)
+        return obj
+
     def contains(self, path: str, block_index: int) -> bool:
         """Whether a block is currently cached (no cost, no LRU touch)."""
         return (path, block_index) in self._pages
+
+    def contains_decoded(self, path: str, offset: int, length: int) -> bool:
+        """Whether a decoded entry is present (no cost, no LRU touch)."""
+        return (path, offset, length) in self._decoded
 
     # -------------------------------------------------------------- churning
 
@@ -112,20 +199,38 @@ class PageCache:
         self._insert((f"!bg:{tag}", block_index), b"\x00" * size)
 
     def invalidate_file(self, path: str) -> None:
-        """Drop every cached block of ``path`` (file deleted by compaction)."""
+        """Drop every cached block of ``path`` (file deleted by compaction).
+
+        Decoded entries built on the file go with their pages, so a
+        compaction that deletes and reallocates table files can never be
+        answered from a stale decoded block.
+        """
         stale = [key for key in self._pages if key[0] == path]
         for key in stale:
             self._bytes -= len(self._pages.pop(key))
+            self._invalidate_decoded_for_page(key)
+        # Decoded entries can outlive their pages (page evicted, entry not
+        # yet touched); sweep those too.
+        stale_decoded = [key for key in self._decoded if key[0] == path]
+        for key in stale_decoded:
+            self._drop_decoded(key)
 
     def clear(self) -> None:
-        """Drop all cached pages."""
+        """Drop all cached pages and decoded entries."""
         self._pages.clear()
         self._bytes = 0
+        self._decoded.clear()
+        self._decoded_by_page.clear()
 
     @property
     def used_bytes(self) -> int:
         """Bytes currently cached."""
         return self._bytes
+
+    @property
+    def decoded_entries(self) -> int:
+        """Number of decoded objects currently cached."""
+        return len(self._decoded)
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -138,6 +243,40 @@ class PageCache:
         self._pages[key] = block
         self._bytes += len(block)
         while self._bytes > self.capacity_bytes and self._pages:
-            _, evicted = self._pages.popitem(last=False)
+            evicted_key, evicted = self._pages.popitem(last=False)
             self._bytes -= len(evicted)
             self.stats.evictions += 1
+            self._invalidate_decoded_for_page(evicted_key)
+
+    def _insert_decoded(self, key: Tuple[str, int, int], obj: object) -> None:
+        if key in self._decoded:
+            self._drop_decoded(key)
+        self._decoded[key] = obj
+        path, offset, length = key
+        block_size = self.device.model.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size if length else first
+        for block_index in range(first, last + 1):
+            self._decoded_by_page.setdefault((path, block_index), set()).add(key)
+        while len(self._decoded) > self.decoded_capacity:
+            oldest = next(iter(self._decoded))
+            self._drop_decoded(oldest)
+
+    def _drop_decoded(self, key: Tuple[str, int, int]) -> None:
+        self._decoded.pop(key, None)
+        path, offset, length = key
+        block_size = self.device.model.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size if length else first
+        for block_index in range(first, last + 1):
+            dependents = self._decoded_by_page.get((path, block_index))
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._decoded_by_page[(path, block_index)]
+
+    def _invalidate_decoded_for_page(self, page_key: Tuple[str, int]) -> None:
+        dependents = self._decoded_by_page.pop(page_key, None)
+        if dependents:
+            for decoded_key in list(dependents):
+                self._drop_decoded(decoded_key)

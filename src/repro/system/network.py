@@ -15,7 +15,7 @@ Presets correspond to the paper's cited scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import SeededRng, make_rng
@@ -73,6 +73,35 @@ class RemoteClient:
         observed = server_us + self.model.rtt_us + self._noise()
         return response, observed
 
+    def getter(self, user: int) -> Callable[[bytes], Response]:
+        """Fast-path closure (plain requests carry no network timing)."""
+        return self.service.getter(user)
+
+    def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
+        """Batch of plain requests."""
+        return self.service.get_many(user, keys)
+
+    def get_many_timed(self, user: int, keys: Sequence[bytes]
+                       ) -> List[Tuple[Response, float]]:
+        """Batch of timed requests; noise draws match a ``get_timed`` loop.
+
+        Delegates to the wrapped service's batch API (preserving whatever
+        timing semantics it implements, e.g. stall exclusion), then adds
+        RTT + jitter per response.  The jitter stream is this client's own,
+        so the per-key draw sequence equals a ``get_timed`` loop's.
+        """
+        rtt = self.model.rtt_us
+        jitter = self.model.jitter_us
+        gauss = self._rng.gauss
+        out: List[Tuple[Response, float]] = []
+        append = out.append
+        for response, server_us in self.service.get_many_timed(user, keys):
+            observed = server_us + rtt
+            if jitter:
+                observed += abs(gauss(0.0, jitter))
+            append((response, observed))
+        return out
+
     def _noise(self) -> float:
         if self.model.jitter_us == 0.0:
             return 0.0
@@ -99,6 +128,19 @@ class RemoteServiceAdapter:
     def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
         """Forward a timed request with network-observed latency."""
         return self._client.get_timed(user, key)
+
+    def getter(self, user: int) -> Callable[[bytes], Response]:
+        """Forward the fast-path closure (probes do not need timing)."""
+        return self._client.getter(user)
+
+    def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
+        """Forward a batch of plain requests."""
+        return self._client.get_many(user, keys)
+
+    def get_many_timed(self, user: int, keys: Sequence[bytes]
+                       ) -> List[Tuple[Response, float]]:
+        """Forward a batch of timed requests with network latency."""
+        return self._client.get_many_timed(user, keys)
 
 
 def remote_service(service: KVService, model: NetworkModel,

@@ -15,7 +15,7 @@ unchanged keys-extracted, massively inflated simulated wall-clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.system.responses import Response
@@ -101,6 +101,41 @@ class RateLimitedService:
         """
         self._admit(user)
         return self.service.get_timed(user, key)
+
+    def getter(self, user: int) -> Callable[[bytes], Response]:
+        """Fast-path closure that still pays admission per request.
+
+        Every call goes through the token bucket first — the batch API
+        must not become a rate-limit bypass.
+        """
+        admit = self._admit
+        get_one = self.service.getter(user)
+
+        def get_admitted(key: bytes) -> Response:
+            admit(user)
+            return get_one(key)
+
+        return get_admitted
+
+    def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
+        """Throttled batch read (admission charged per key)."""
+        get_one = self.getter(user)
+        return [get_one(key) for key in keys]
+
+    def get_many_timed(self, user: int, keys: Sequence[bytes]
+                       ) -> List[Tuple[Response, float]]:
+        """Throttled batch ``get_timed`` (stalls excluded, as in get_timed)."""
+        admit = self._admit
+        get_one = self.service.getter(user)
+        clock = self.db.clock
+        out: List[Tuple[Response, float]] = []
+        append = out.append
+        for key in keys:
+            admit(user)
+            start = clock.now_us
+            response = get_one(key)
+            append((response, clock.now_us - start))
+        return out
 
     def range_query(self, user: int, low: bytes, high: bytes,
                     limit: Optional[int] = None):

@@ -47,6 +47,9 @@ class DatasetConfig:
     cache_fraction: float = 0.05
     sstable_target_bytes: int = 128 * 1024
     background_load: LoadModel = field(default_factory=LoadModel)
+    #: Decoded-block cache entries (``None`` = proportional default,
+    #: ``0`` disables — wall-clock knob only, simulated time is identical).
+    decoded_cache_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_keys <= 0:
@@ -94,7 +97,8 @@ def build_environment(config: DatasetConfig) -> Environment:
     dataset_bytes = sum(len(k) + len(v) for k, v in items)
     cache_bytes = max(device.model.block_size,
                       int(dataset_bytes * config.cache_fraction))
-    cache = PageCache(device, cache_bytes)
+    cache = PageCache(device, cache_bytes,
+                      decoded_capacity=config.decoded_cache_entries)
 
     options = LSMOptions(
         filter_builder=config.filter_builder,

@@ -42,6 +42,24 @@ class TestBucketing:
             Histogram(0.0, 25.0)
         with pytest.raises(ConfigError):
             Histogram(5.0, 27.0)  # not a multiple
+        with pytest.raises(ConfigError):
+            Histogram(5.0, -25.0)
+
+    @pytest.mark.parametrize("width", [0.1, 0.25, 0.5, 5.0])
+    def test_fractional_widths_construct(self, width):
+        # Regression: a float modulo check rejected exact multiples such as
+        # Histogram(0.1, 25.0) because 25.0 % 0.1 != 0.0 in binary floats.
+        hist = Histogram(width, 25.0)
+        assert len(hist.buckets()) == round(25.0 / width) + 1
+        hist.extend([0.0, width / 2, 24.999999, 25.0, 26.0])
+        assert hist.total == 5
+        assert hist.buckets()[-1].count == 2  # only >= 25.0 overflows
+
+    def test_near_threshold_sample_stays_in_last_bucket(self):
+        hist = Histogram(0.1, 25.0)
+        hist.add(24.9999999999999964)  # nextafter-style edge below 25.0
+        assert hist.buckets()[-1].count == 0
+        assert sum(b.count for b in hist.buckets()) == 1
 
     @given(st.lists(st.floats(min_value=0, max_value=200,
                               allow_nan=False), min_size=1, max_size=200))

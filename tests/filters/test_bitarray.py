@@ -59,3 +59,36 @@ class TestSerialization:
         restored = BitArray.from_bytes(128, bits.to_bytes())
         assert {i for i in range(128) if restored.get(i)} == positions
         assert restored.count() == len(positions)
+
+
+class TestPopcount:
+    """The shared popcount primitive and its pre-3.10 fallback."""
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_table_fallback_matches_reference(self, value):
+        from repro.filters.bitarray import _popcount_table
+
+        assert _popcount_table(value) == bin(value).count("1")
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_exported_popcount_is_correct(self, value):
+        from repro.filters.bitarray import popcount
+
+        assert popcount(value) == bin(value).count("1")
+
+    def test_count_fallback_path_matches_fast_path(self, monkeypatch):
+        import repro.filters.bitarray as mod
+
+        bits = BitArray(1000)
+        for i in range(0, 1000, 7):
+            bits.set(i)
+        fast = bits.count()
+        monkeypatch.setattr(mod, "_HAVE_BIT_COUNT", False)
+        assert bits.count() == fast == len(range(0, 1000, 7))
+
+    def test_rank_select_uses_shared_popcount(self):
+        # rank_select must not keep a private popcount implementation.
+        import repro.filters.bitarray as bitarray
+        import repro.filters.rank_select as rank_select
+
+        assert rank_select._popcount is bitarray.popcount

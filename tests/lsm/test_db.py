@@ -283,3 +283,22 @@ class TestIteratorApi:
             db.put(k, k[::-1])
         lo, hi = sorted((rng.random_bytes(4), rng.random_bytes(4)))
         assert list(db.iterator(lo, hi)) == db.range_query(lo, hi)
+
+
+class TestInjectedCache:
+    def test_empty_injected_cache_is_used(self):
+        # PageCache defines __len__, so a fresh (empty) cache is falsy; the
+        # constructor must not let a truthiness fallback discard it.
+        from repro.storage.clock import SimClock
+        from repro.storage.device import DeviceModel, StorageDevice
+        from repro.storage.page_cache import PageCache
+
+        clock = SimClock()
+        device = StorageDevice(clock, DeviceModel())
+        cache = PageCache(device, 256 * 1024)
+        db = LSMTree(surf_options(), clock=clock, device=device, cache=cache)
+        assert db.cache is cache
+        db.put(b"aaaa", b"1")
+        db.flush()
+        db.get(b"aaaa")
+        assert cache.stats.lookups > 0

@@ -112,3 +112,122 @@ def test_hit_rate_stat():
     cache.read_block("a", 0)
     cache.read_block("a", 0)
     assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestZeroLengthRead:
+    def test_returns_empty_without_charge_or_stats(self):
+        clock, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        t0 = clock.now_us
+        assert cache.read("a", 0, 0) == b""
+        assert clock.now_us == t0
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert len(cache) == 0
+
+    def test_zero_length_at_nonzero_offset(self):
+        clock, device, cache = make_cache()
+        device.create_file("a", b"x" * (2 * device.model.block_size))
+        t0 = clock.now_us
+        assert cache.read("a", device.model.block_size + 7, 0) == b""
+        assert clock.now_us == t0
+
+
+class TestDecodedLayer:
+    """The decoded-object side table: wall-clock only, charges identical."""
+
+    def test_decode_runs_once_while_pages_resident(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * device.model.block_size)
+        calls = []
+
+        def decode(data):
+            calls.append(data)
+            return ("decoded", data)
+
+        first = cache.read_decoded("a", 0, 64, decode)
+        second = cache.read_decoded("a", 0, 64, decode)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats.decoded_misses == 1
+        assert cache.stats.decoded_hits == 1
+
+    def test_decoded_hit_charges_same_as_plain_cached_read(self):
+        # Twin caches over twin devices: one uses read_decoded, the other
+        # plain read.  Simulated charges must be identical in every step.
+        clock_a, device_a, cache_a = make_cache()
+        clock_b, device_b, cache_b = make_cache()
+        payload = bytes(range(256)) * 16
+        device_a.create_file("a", payload)
+        device_b.create_file("a", payload)
+        for _ in range(3):
+            t0a, t0b = clock_a.now_us, clock_b.now_us
+            decoded = cache_a.read_decoded("a", 8, 200, bytes)
+            raw = cache_b.read("a", 8, 200)
+            assert bytes(decoded) == raw
+            assert clock_a.now_us - t0a == pytest.approx(clock_b.now_us - t0b)
+        assert cache_a.stats.hits == cache_b.stats.hits
+        assert cache_a.stats.misses == cache_b.stats.misses
+
+    def test_page_eviction_invalidates_decoded_entry(self):
+        _, device, cache = make_cache(capacity_blocks=2)
+        block = device.model.block_size
+        device.create_file("a", b"x" * (3 * block))
+        calls = []
+        cache.read_decoded("a", 0, 64, lambda d: calls.append(d) or len(calls))
+        assert cache.contains_decoded("a", 0, 64)
+        cache.read_block("a", 1)
+        cache.read_block("a", 2)  # evicts page 0 -> decoded entry must go
+        assert not cache.contains_decoded("a", 0, 64)
+        cache.read_decoded("a", 0, 64, lambda d: calls.append(d) or len(calls))
+        assert len(calls) == 2
+
+    def test_invalidate_file_sweeps_decoded_entries(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        device.create_file("b", b"y" * 100)
+        cache.read_decoded("a", 0, 32, bytes)
+        cache.read_decoded("b", 0, 32, bytes)
+        cache.invalidate_file("a")
+        assert not cache.contains_decoded("a", 0, 32)
+        assert cache.contains_decoded("b", 0, 32)
+
+    def test_clear_drops_decoded_entries(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * 100)
+        cache.read_decoded("a", 0, 32, bytes)
+        cache.clear()
+        assert cache.decoded_entries == 0
+
+    def test_decoded_lru_bounded(self):
+        clock = SimClock()
+        device = StorageDevice(clock, DeviceModel())
+        cache = PageCache(device, 64 * device.model.block_size,
+                          decoded_capacity=3)
+        device.create_file("a", b"x" * device.model.block_size)
+        for offset in range(0, 5 * 32, 32):
+            cache.read_decoded("a", offset, 32, bytes)
+        assert cache.decoded_entries == 3
+        # Oldest two entries were dropped, newest three survive.
+        assert not cache.contains_decoded("a", 0, 32)
+        assert not cache.contains_decoded("a", 32, 32)
+        assert cache.contains_decoded("a", 4 * 32, 32)
+
+    def test_capacity_zero_disables_layer(self):
+        clock = SimClock()
+        device = StorageDevice(clock, DeviceModel())
+        cache = PageCache(device, 4 * device.model.block_size,
+                          decoded_capacity=0)
+        device.create_file("a", b"x" * 100)
+        calls = []
+        for _ in range(3):
+            cache.read_decoded("a", 0, 32, lambda d: calls.append(d) or d)
+        assert len(calls) == 3
+        assert cache.decoded_entries == 0
+
+    def test_negative_capacity_rejected(self):
+        clock = SimClock()
+        device = StorageDevice(clock)
+        with pytest.raises(ConfigError):
+            PageCache(device, 64 * device.model.block_size,
+                      decoded_capacity=-1)
