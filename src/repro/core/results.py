@@ -9,6 +9,7 @@ curves of Figures 3-8 are recorded as (queries, keys-extracted) points.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -20,15 +21,21 @@ STAGE_EXTEND = "extend"
 
 
 class QueryCounter:
-    """Counts attacker queries, attributed to the currently active stage."""
+    """Counts attacker queries, attributed to the currently active stage.
+
+    Charges are locked: the parallel attack driver accounts probes from
+    several connection threads into one counter.
+    """
 
     def __init__(self) -> None:
         self.by_stage: Dict[str, int] = {}
         self.stage = STAGE_FIND_FPK
+        self._lock = threading.Lock()
 
     def charge(self, queries: int = 1) -> None:
         """Record ``queries`` issued in the active stage."""
-        self.by_stage[self.stage] = self.by_stage.get(self.stage, 0) + queries
+        with self._lock:
+            self.by_stage[self.stage] = self.by_stage.get(self.stage, 0) + queries
 
     @property
     def total(self) -> int:

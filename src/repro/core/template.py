@@ -68,40 +68,59 @@ class PrefixSiphoningAttack:
                 "strategy key width exceeds the attack's target key width"
             )
 
+    def _sim_now_us(self) -> float:
+        """The simulated clock behind the oracle's service.
+
+        In-process services expose it as ``db.clock``; wire transports
+        report it on request (``sim_now_us()``); bare test doubles get a
+        constant (durations then read zero, which is honest: no simulated
+        clock exists to measure).
+        """
+        service = self.oracle.service
+        db = getattr(service, "db", None)
+        if db is not None:
+            return db.clock.now_us
+        reader = getattr(service, "sim_now_us", None)
+        if callable(reader):
+            return reader()
+        return 0.0
+
     def run(self) -> AttackResult:
         """Execute the attack and return its full accounting."""
-        clock = self.oracle.service.db.clock
-        start_us = clock.now_us
+        start_us = self._sim_now_us()
         counter = self.oracle.counter
         result = AttackResult()
 
         # Step 1: find false-positive keys.
         counter.stage = STAGE_FIND_FPK
-        stage_started = clock.now_us
+        stage_started = start_us
         candidates = self.strategy.generate_candidates(self.config.num_candidates)
         fp_keys = self.strategy.find_false_positives(self.oracle, candidates)
         result.progress.append((counter.total, 0))
-        result.stage_durations_us[STAGE_FIND_FPK] = clock.now_us - stage_started
+        stage_ended = self._sim_now_us()
+        result.stage_durations_us[STAGE_FIND_FPK] = stage_ended - stage_started
 
         # Step 2: identify shared prefixes.
         counter.stage = STAGE_ID_PREFIX
-        stage_started = clock.now_us
+        stage_started = stage_ended
         identified = self.strategy.identify_prefixes(self.oracle, fp_keys)
         result.prefixes_identified = list(identified)
         result.progress.append((counter.total, 0))
-        result.stage_durations_us[STAGE_ID_PREFIX] = clock.now_us - stage_started
+        stage_ended = self._sim_now_us()
+        result.stage_durations_us[STAGE_ID_PREFIX] = stage_ended - stage_started
 
         # Step 3: keep feasible prefixes, dedupe, extend cheapest-first.
         counter.stage = STAGE_EXTEND
-        stage_started = clock.now_us
+        stage_started = stage_ended
         kept = self._select_for_extension(identified, result)
         if self.config.extend:
             self._extend_all(kept, result)
-        result.stage_durations_us[STAGE_EXTEND] = clock.now_us - stage_started
+        stage_ended = self._sim_now_us()
+        result.stage_durations_us[STAGE_EXTEND] = stage_ended - stage_started
 
         result.queries_by_stage = dict(counter.by_stage)
         result.progress.append((counter.total, len(result.extracted)))
-        result.sim_duration_us = clock.now_us - start_us
+        result.sim_duration_us = stage_ended - start_us
         return result
 
     # ------------------------------------------------------------------ steps

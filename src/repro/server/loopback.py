@@ -1,0 +1,72 @@
+"""In-process loopback transport: the full wire protocol over socketpairs.
+
+Tests (and the deterministic parallel-attack harness) need the *entire*
+serving path — framing, dispatch, the service lock, the ordered gate —
+without TCP ports, ephemeral-port races, or firewall surprises.
+:class:`LoopbackTransport` runs a real :class:`KVWireServer` worker pool
+whose connections are ``socket.socketpair()`` ends: byte-for-byte the
+same protocol, deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.server.client import (
+    DEFAULT_TIMEOUT_S,
+    ConnectionPool,
+    RemoteKV,
+    WireConnection,
+)
+from repro.server.tcp import KVWireServer, ServerConfig
+from repro.storage.background import BackgroundLoad
+
+
+class LoopbackTransport:
+    """A served KV stack reachable only from inside this process."""
+
+    def __init__(self, service, background: Optional[BackgroundLoad] = None,
+                 workers: int = 8,
+                 config: Optional[ServerConfig] = None) -> None:
+        self.server = KVWireServer(
+            service,
+            config or ServerConfig(workers=workers),
+            background=background,
+        )
+        self.server.start(listen=False)
+
+    def dial(self) -> socket.socket:
+        """New connection: hand one socketpair end to the server's pool."""
+        client_end, server_end = socket.socketpair()
+        self.server.attach(server_end)
+        return client_end
+
+    def connect(self, timeout_s: float = DEFAULT_TIMEOUT_S) -> RemoteKV:
+        """One client over a fresh loopback connection."""
+        return RemoteKV(WireConnection(self.dial(), timeout_s=timeout_s))
+
+    def pool(self, size: int,
+             timeout_s: float = DEFAULT_TIMEOUT_S) -> ConnectionPool:
+        """A connection pool over fresh loopback connections.
+
+        A worker owns each loopback connection for its lifetime, so the
+        pool cannot be wider than the server's worker pool — connections
+        past that would sit unserved in the accept queue forever.
+        """
+        if size > self.server.config.workers:
+            from repro.common.errors import ConfigError
+            raise ConfigError(
+                f"pool of {size} connections needs at least {size} server "
+                f"workers (have {self.server.config.workers})"
+            )
+        return ConnectionPool(self.dial, size, timeout_s=timeout_s)
+
+    def close(self) -> None:
+        self.server.stop()
+
+    def __enter__(self) -> "LoopbackTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

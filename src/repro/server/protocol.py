@@ -1,0 +1,390 @@
+"""Length-prefixed binary wire protocol for the KV serving layer.
+
+Every message is one *frame*::
+
+    +-------+---------+--------+-------+------------+-------------+
+    | magic | version | opcode | flags | request id | payload len |  header
+    | 2 B   | 1 B     | 1 B    | 2 B   | 8 B        | 4 B         |  (18 B)
+    +-------+---------+--------+-------+------------+-------------+
+    | payload (payload len bytes)                                 |
+    +-------------------------------------------------------------+
+
+All integers are big-endian.  Responses echo the request id and set
+``FLAG_RESPONSE``; error responses use :data:`Opcode.ERROR`.  Frames
+carrying ``FLAG_ORDERED`` prepend an ordering token (stream nonce + 0-based
+sequence number) to the payload; the server executes such frames in
+sequence order per stream, which is what makes the concurrent attack
+driver's simulated timeline identical to the serial one (DESIGN.md §7).
+
+The payload codecs below are pure functions of bytes: no sockets, no
+clocks.  Anything malformed raises :class:`~repro.common.errors.ProtocolError`
+(or its :class:`~repro.common.errors.VersionMismatchError` subclass), never
+a bare ``struct.error`` — truncated input included.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError, VersionMismatchError
+from repro.system.responses import Response, Status
+
+MAGIC = b"PS"
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a single key (the length field is 16-bit).
+MAX_KEY_BYTES = 0xFFFF
+#: Hard cap on one frame's payload — a protocol sanity bound, not a tuning
+#: knob; a peer announcing more is treated as corrupt.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+FLAG_RESPONSE = 0x0001
+FLAG_ORDERED = 0x0002
+_KNOWN_FLAGS = FLAG_RESPONSE | FLAG_ORDERED
+
+_HEADER = struct.Struct("!2sBBHQI")
+HEADER_BYTES = _HEADER.size
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_F64 = struct.Struct("!d")
+_ORDER = struct.Struct("!QQ")
+_GET_PREFIX = struct.Struct("!QH")
+_RESULT_PREFIX = struct.Struct("!BdB")
+_STATS = struct.Struct("!dQQQQdQd")
+
+
+class Opcode(enum.IntEnum):
+    """Frame types (request direction unless noted)."""
+
+    PING = 1
+    GET = 2
+    GET_MANY = 3
+    STATS = 4
+    #: Simulation control: advance the server's background load (the
+    #: attacker "waiting for page-cache eviction").  Not part of a real
+    #: deployment's API — a real attacker just sleeps.
+    WAIT = 5
+    #: Response-only: request failed server-side.
+    ERROR = 0x7F
+
+
+class ErrorCode(enum.IntEnum):
+    """``ERROR`` payload codes."""
+
+    PROTOCOL = 1
+    VERSION = 2
+    UNSUPPORTED = 3
+    INTERNAL = 4
+    SHUTTING_DOWN = 5
+    ORDER_TIMEOUT = 6
+
+
+#: Status <-> wire code.  The vocabulary is closed (responses.Status).
+_STATUS_TO_CODE = {
+    Status.OK: 0,
+    Status.NOT_FOUND: 1,
+    Status.UNAUTHORIZED: 2,
+    Status.FAILED: 3,
+}
+_CODE_TO_STATUS = {code: status for status, code in _STATUS_TO_CODE.items()}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame (header fields + raw payload)."""
+
+    opcode: int
+    request_id: int
+    payload: bytes = b""
+    flags: int = 0
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & FLAG_RESPONSE)
+
+
+@dataclass(frozen=True)
+class OrderToken:
+    """Ordered-stream position: execute in ``seq`` order within ``nonce``."""
+
+    nonce: int
+    seq: int
+
+
+# --------------------------------------------------------------------- frames
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame, header plus payload."""
+    if len(frame.payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload of {len(frame.payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame cap"
+        )
+    header = _HEADER.pack(MAGIC, PROTOCOL_VERSION, frame.opcode, frame.flags,
+                          frame.request_id, len(frame.payload))
+    return header + frame.payload
+
+
+def decode_header(data: bytes) -> Tuple[Frame, int]:
+    """Decode the 18-byte header; returns a payload-less frame + length.
+
+    The caller reads ``length`` more bytes and attaches them.  Raises
+    :class:`VersionMismatchError` for a foreign protocol version and
+    :class:`ProtocolError` for everything else malformed.
+    """
+    if len(data) < HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated header: {len(data)} of {HEADER_BYTES} bytes"
+        )
+    magic, version, opcode, flags, request_id, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatchError(
+            f"peer speaks protocol version {version}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown flag bits 0x{flags & ~_KNOWN_FLAGS:x}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"announced payload of {length} bytes exceeds cap")
+    try:
+        opcode = Opcode(opcode)
+    except ValueError:
+        raise ProtocolError(f"unknown opcode {opcode}") from None
+    return Frame(opcode=opcode, request_id=request_id, flags=flags), length
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete frame from an exact byte string."""
+    frame, length = decode_header(data)
+    payload = data[HEADER_BYTES:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"payload length mismatch: header says {length}, got {len(payload)}"
+        )
+    return Frame(opcode=frame.opcode, request_id=frame.request_id,
+                 payload=payload, flags=frame.flags)
+
+
+# ------------------------------------------------------------ ordering tokens
+
+
+def prepend_order(payload: bytes, token: OrderToken) -> bytes:
+    """Prefix an ordered frame's payload with its stream position."""
+    return _ORDER.pack(token.nonce, token.seq) + payload
+
+
+def split_order(payload: bytes) -> Tuple[OrderToken, bytes]:
+    """Strip the ordering token from an ``FLAG_ORDERED`` payload."""
+    if len(payload) < _ORDER.size:
+        raise ProtocolError("ordered frame too short for its ordering token")
+    nonce, seq = _ORDER.unpack_from(payload)
+    return OrderToken(nonce=nonce, seq=seq), payload[_ORDER.size:]
+
+
+# ------------------------------------------------------------------- payloads
+
+
+def _check_key(key: bytes) -> bytes:
+    if len(key) > MAX_KEY_BYTES:
+        raise ProtocolError(
+            f"key of {len(key)} bytes exceeds the {MAX_KEY_BYTES}-byte cap"
+        )
+    return key
+
+
+def encode_get_request(user: int, key: bytes) -> bytes:
+    """GET request payload: user id + one key."""
+    return _GET_PREFIX.pack(user, len(_check_key(key))) + key
+
+
+def decode_get_request(payload: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_get_request`."""
+    if len(payload) < _GET_PREFIX.size:
+        raise ProtocolError("truncated GET request")
+    user, key_len = _GET_PREFIX.unpack_from(payload)
+    key = payload[_GET_PREFIX.size:]
+    if len(key) != key_len:
+        raise ProtocolError(
+            f"GET key length mismatch: header says {key_len}, got {len(key)}"
+        )
+    return user, key
+
+
+def encode_get_many_request(user: int, keys: Sequence[bytes]) -> bytes:
+    """GET_MANY request payload: user id + key count + length-prefixed keys."""
+    parts = [_U64.pack(user), _U32.pack(len(keys))]
+    for key in keys:
+        parts.append(_U16.pack(len(_check_key(key))))
+        parts.append(key)
+    return b"".join(parts)
+
+
+def decode_get_many_request(payload: bytes) -> Tuple[int, List[bytes]]:
+    """Inverse of :func:`encode_get_many_request`."""
+    if len(payload) < _U64.size + _U32.size:
+        raise ProtocolError("truncated GET_MANY request")
+    user = _U64.unpack_from(payload)[0]
+    count = _U32.unpack_from(payload, _U64.size)[0]
+    offset = _U64.size + _U32.size
+    keys: List[bytes] = []
+    for _ in range(count):
+        if len(payload) < offset + _U16.size:
+            raise ProtocolError("truncated GET_MANY key length")
+        key_len = _U16.unpack_from(payload, offset)[0]
+        offset += _U16.size
+        if len(payload) < offset + key_len:
+            raise ProtocolError("truncated GET_MANY key")
+        keys.append(payload[offset:offset + key_len])
+        offset += key_len
+    if offset != len(payload):
+        raise ProtocolError(
+            f"GET_MANY request has {len(payload) - offset} trailing bytes"
+        )
+    return user, keys
+
+
+def encode_result(response: Response, sim_us: float) -> bytes:
+    """One request outcome: status + server-side simulated elapsed time
+    + optional value.  The ``sim_us`` field is the server-reported simulated
+    response time — the side channel, measured where the SimClock lives."""
+    value = response.value
+    head = _RESULT_PREFIX.pack(_STATUS_TO_CODE[response.status], sim_us,
+                               0 if value is None else 1)
+    if value is None:
+        return head
+    return head + _U32.pack(len(value)) + value
+
+
+def decode_result(payload: bytes, offset: int = 0
+                  ) -> Tuple[Response, float, int]:
+    """Decode one result at ``offset``; returns (response, sim_us, next)."""
+    if len(payload) < offset + _RESULT_PREFIX.size:
+        raise ProtocolError("truncated result")
+    code, sim_us, has_value = _RESULT_PREFIX.unpack_from(payload, offset)
+    status = _CODE_TO_STATUS.get(code)
+    if status is None:
+        raise ProtocolError(f"unknown status code {code}")
+    offset += _RESULT_PREFIX.size
+    value: Optional[bytes] = None
+    if has_value == 1:
+        if len(payload) < offset + _U32.size:
+            raise ProtocolError("truncated result value length")
+        value_len = _U32.unpack_from(payload, offset)[0]
+        offset += _U32.size
+        if len(payload) < offset + value_len:
+            raise ProtocolError("truncated result value")
+        value = payload[offset:offset + value_len]
+        offset += value_len
+    elif has_value != 0:
+        raise ProtocolError(f"bad has-value marker {has_value}")
+    return Response(status, value), sim_us, offset
+
+
+def encode_get_many_response(results: Sequence[Tuple[Response, float]]) -> bytes:
+    """GET_MANY response payload: count + per-key results."""
+    parts = [_U32.pack(len(results))]
+    for response, sim_us in results:
+        parts.append(encode_result(response, sim_us))
+    return b"".join(parts)
+
+
+def decode_get_many_response(payload: bytes) -> List[Tuple[Response, float]]:
+    """Inverse of :func:`encode_get_many_response`."""
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated GET_MANY response")
+    count = _U32.unpack_from(payload)[0]
+    offset = _U32.size
+    out: List[Tuple[Response, float]] = []
+    for _ in range(count):
+        response, sim_us, offset = decode_result(payload, offset)
+        out.append((response, sim_us))
+    if offset != len(payload):
+        raise ProtocolError(
+            f"GET_MANY response has {len(payload) - offset} trailing bytes"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Server-side counters exposed over the wire (STATS response)."""
+
+    sim_now_us: float
+    requests: int
+    ok: int
+    not_found: int
+    unauthorized: int
+    eviction_wait_us: float
+    stalled_requests: int
+    total_stall_us: float
+
+
+def encode_stats_response(stats: StatsSnapshot) -> bytes:
+    """STATS response payload."""
+    return _STATS.pack(stats.sim_now_us, stats.requests, stats.ok,
+                       stats.not_found, stats.unauthorized,
+                       stats.eviction_wait_us, stats.stalled_requests,
+                       stats.total_stall_us)
+
+
+def decode_stats_response(payload: bytes) -> StatsSnapshot:
+    """Inverse of :func:`encode_stats_response`."""
+    if len(payload) != _STATS.size:
+        raise ProtocolError(
+            f"STATS response must be {_STATS.size} bytes, got {len(payload)}"
+        )
+    return StatsSnapshot(*_STATS.unpack(payload))
+
+
+def encode_wait_request(duration_us: float) -> bytes:
+    """WAIT request payload: how long the attacker lets ambient load run."""
+    if duration_us < 0:
+        raise ProtocolError(f"cannot wait a negative duration {duration_us}")
+    return _F64.pack(duration_us)
+
+
+def decode_wait_request(payload: bytes) -> float:
+    """Inverse of :func:`encode_wait_request`."""
+    if len(payload) != _F64.size:
+        raise ProtocolError("WAIT request must carry exactly one f64")
+    duration_us = _F64.unpack(payload)[0]
+    if duration_us < 0:
+        raise ProtocolError(f"cannot wait a negative duration {duration_us}")
+    return duration_us
+
+
+def encode_wait_response(sim_now_us: float) -> bytes:
+    """WAIT response payload: the server's simulated clock afterwards."""
+    return _F64.pack(sim_now_us)
+
+
+def decode_wait_response(payload: bytes) -> float:
+    """Inverse of :func:`encode_wait_response`."""
+    if len(payload) != _F64.size:
+        raise ProtocolError("WAIT response must carry exactly one f64")
+    return _F64.unpack(payload)[0]
+
+
+def encode_error(code: int, message: str) -> bytes:
+    """ERROR response payload: code + utf-8 message."""
+    raw = message.encode("utf-8")[:MAX_KEY_BYTES]
+    return struct.pack("!BH", code, len(raw)) + raw
+
+
+def decode_error(payload: bytes) -> Tuple[int, str]:
+    """Inverse of :func:`encode_error`."""
+    if len(payload) < 3:
+        raise ProtocolError("truncated error payload")
+    code, msg_len = struct.unpack_from("!BH", payload)
+    raw = payload[3:]
+    if len(raw) != msg_len:
+        raise ProtocolError("error message length mismatch")
+    return code, raw.decode("utf-8", errors="replace")

@@ -1,0 +1,403 @@
+"""Threaded TCP server fronting a :class:`~repro.system.service.KVService`.
+
+Architecture (DESIGN.md section 7):
+
+* an **acceptor** thread pushes accepted connections onto a bounded queue;
+* a fixed pool of **worker** threads each own one connection at a time,
+  reading frames, dispatching, and writing responses until the peer hangs
+  up (bounded concurrency: connections beyond the pool wait in the queue
+  and the kernel accept backlog);
+* every service call happens under one **service lock** — the simulated
+  store has a single :class:`~repro.storage.clock.SimClock`, so exactly one
+  request may advance simulated time at a time.  Concurrency is therefore
+  a *wall-clock/transport* phenomenon (framing, socket I/O, client-side
+  work overlap), and each request's server-reported simulated response
+  time is exactly what the serial in-process call would have measured;
+* frames flagged ``FLAG_ORDERED`` additionally pass an :class:`OrderedGate`
+  that admits them in per-stream sequence order, pinning the *execution
+  order* of a concurrent client's batches to the order the client chose —
+  the mechanism behind the parallel attack driver's serial-identical
+  simulated timeline.
+
+Shutdown is graceful by default: stop accepting, let in-flight requests
+finish and their responses flush, then close.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import (
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    VersionMismatchError,
+)
+from repro.server import protocol
+from repro.server.protocol import ErrorCode, Frame, Opcode
+from repro.storage.background import BackgroundLoad
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Listen backlog handed to the kernel.
+    backlog: int = 16
+    #: Worker threads == maximum concurrently served connections.
+    workers: int = 8
+    #: Seconds an ordered frame may wait for its turn before erroring.
+    order_timeout_s: float = 10.0
+    #: Seconds ``stop(graceful=True)`` waits for in-flight requests.
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("server needs at least one worker")
+        if self.backlog < 1:
+            raise ConfigError("backlog must be at least 1")
+        if self.order_timeout_s <= 0 or self.drain_timeout_s <= 0:
+            raise ConfigError("timeouts must be positive")
+
+
+class OrderedGate:
+    """Admits ordered frames in per-stream (nonce) sequence order.
+
+    Streams number their frames 0, 1, 2, ... contiguously; a frame whose
+    turn has not come blocks until its predecessors complete.  Stream state
+    is bounded: least-recently-used streams are forgotten past a cap (a
+    forgotten stream's next frame would block and time out — acceptable
+    for the short-lived streams the attack driver creates).
+    """
+
+    _MAX_STREAMS = 64
+
+    def __init__(self, timeout_s: float) -> None:
+        self._timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._next: dict = {}  # nonce -> next admissible seq
+
+    def admit(self, nonce: int, seq: int) -> None:
+        """Block until ``seq`` is the stream's turn."""
+        deadline = time.monotonic() + self._timeout_s
+        with self._cond:
+            if nonce not in self._next and len(self._next) >= self._MAX_STREAMS:
+                self._next.pop(next(iter(self._next)))
+            while self._next.setdefault(nonce, 0) != seq:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ProtocolError(
+                        f"ordered frame seq={seq} timed out waiting for "
+                        f"seq={self._next.get(nonce)} of stream {nonce:#x}"
+                    )
+                self._cond.wait(remaining)
+
+    def complete(self, nonce: int) -> None:
+        """Mark the admitted frame done, releasing its successor."""
+        with self._cond:
+            self._next[nonce] = self._next.get(nonce, 0) + 1
+            self._cond.notify_all()
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on EOF mid-message."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                raise EOFError("connection closed")
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Frame:
+    """Read one complete frame from a stream socket.
+
+    Raises ``EOFError`` on a clean close between frames and
+    :class:`ProtocolError` (or a subclass) on anything malformed.
+    """
+    header = _read_exact(sock, protocol.HEADER_BYTES)
+    frame, length = protocol.decode_header(header)
+    payload = _read_exact(sock, length) if length else b""
+    return Frame(opcode=frame.opcode, request_id=frame.request_id,
+                 payload=payload, flags=frame.flags)
+
+
+class KVWireServer:
+    """Serves the wire protocol over TCP (or any attached stream socket).
+
+    ``service`` is anything with the :class:`KVService` surface
+    (``get_timed`` / ``get_many_timed`` / ``db``) — a bare service, a
+    :class:`~repro.system.ratelimit.RateLimitedService`, or a test double.
+    ``background`` enables the WAIT opcode (cache-churn simulation
+    control); without it WAIT answers UNSUPPORTED.
+    """
+
+    def __init__(self, service, config: Optional[ServerConfig] = None,
+                 background: Optional[BackgroundLoad] = None) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.background = background
+        self._service_lock = threading.Lock()
+        self._gate = OrderedGate(self.config.order_timeout_s)
+        self._listener: Optional[socket.socket] = None
+        self._threads: list = []
+        self._connections: "queue.Queue" = queue.Queue()
+        self._open_socks: set = set()
+        self._open_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._started = False
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self, listen: bool = True) -> None:
+        """Spawn the worker pool (and, by default, the TCP acceptor)."""
+        if self._started:
+            raise ConfigError("server already started")
+        self._started = True
+        if listen:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(self.config.backlog)
+            self._listener = listener
+            acceptor = threading.Thread(target=self._accept_loop,
+                                        name="kv-acceptor", daemon=True)
+            acceptor.start()
+            self._threads.append(acceptor)
+        for i in range(self.config.workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"kv-worker-{i}", daemon=True)
+            worker.start()
+            self._threads.append(worker)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._listener is None:
+            raise ConfigError("server is not listening")
+        return self._listener.getsockname()[:2]
+
+    def attach(self, sock: socket.socket) -> None:
+        """Serve an already-connected stream socket (loopback transport)."""
+        if self._closing.is_set():
+            sock.close()
+            return
+        self._connections.put(sock)
+
+    def stop(self, graceful: bool = True) -> None:
+        """Shut down: optionally drain in-flight requests first."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if graceful:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            with self._inflight_cond:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cond.wait(remaining)
+        # Unblock workers parked in recv() or on the connection queue.
+        with self._open_lock:
+            open_now = list(self._open_socks)
+        for sock in open_now:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for _ in range(self.config.workers):
+            self._connections.put(None)
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
+
+    def __enter__(self) -> "KVWireServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------- loops
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.attach(sock)
+
+    def _worker_loop(self) -> None:
+        while True:
+            sock = self._connections.get()
+            if sock is None:
+                return
+            try:
+                self._serve_connection(sock)
+            finally:
+                with self._open_lock:
+                    self._open_socks.discard(sock)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        with self._open_lock:
+            self._open_socks.add(sock)
+        while not self._closing.is_set():
+            try:
+                frame = read_frame(sock)
+            except EOFError:
+                return
+            except VersionMismatchError as exc:
+                self._send_error(sock, 0, ErrorCode.VERSION, str(exc))
+                return
+            except (ProtocolError, OSError) as exc:
+                self._send_error(sock, 0, ErrorCode.PROTOCOL, str(exc))
+                return
+            with self._inflight_cond:
+                if self._closing.is_set():
+                    # Lost the race with stop(): refuse rather than start
+                    # work the drain will not wait for.
+                    self._inflight_cond.notify_all()
+                    self._send_error(sock, frame.request_id,
+                                     ErrorCode.SHUTTING_DOWN,
+                                     "server is shutting down")
+                    return
+                self._inflight += 1
+            try:
+                # The response write counts as in-flight too: a graceful
+                # stop() must not close the socket between dispatch and
+                # the reply reaching the wire.
+                response = self._dispatch(frame)
+                try:
+                    sock.sendall(protocol.encode_frame(response))
+                except OSError:
+                    return
+            finally:
+                with self._inflight_cond:
+                    self._inflight -= 1
+                    self._inflight_cond.notify_all()
+
+    # ---------------------------------------------------------------- dispatch
+
+    def _dispatch(self, frame: Frame) -> Frame:
+        try:
+            return self._dispatch_inner(frame)
+        except ProtocolError as exc:
+            return self._error_frame(frame.request_id,
+                                     ErrorCode.ORDER_TIMEOUT
+                                     if "timed out" in str(exc)
+                                     else ErrorCode.PROTOCOL, str(exc))
+        except ReproError as exc:
+            return self._error_frame(frame.request_id, ErrorCode.INTERNAL,
+                                     str(exc))
+
+    def _dispatch_inner(self, frame: Frame) -> Frame:
+        payload = frame.payload
+        token = None
+        if frame.flags & protocol.FLAG_ORDERED:
+            token, payload = protocol.split_order(payload)
+        if token is not None:
+            self._gate.admit(token.nonce, token.seq)
+        try:
+            out = self._execute(frame.opcode, payload, frame.request_id)
+        finally:
+            if token is not None:
+                self._gate.complete(token.nonce)
+        return out
+
+    def _execute(self, opcode: int, payload: bytes, request_id: int) -> Frame:
+        if opcode == Opcode.PING:
+            return self._response(Opcode.PING, request_id, payload)
+        if opcode == Opcode.GET:
+            user, key = protocol.decode_get_request(payload)
+            with self._service_lock:
+                response, sim_us = self.service.get_timed(user, key)
+            return self._response(Opcode.GET, request_id,
+                                  protocol.encode_result(response, sim_us))
+        if opcode == Opcode.GET_MANY:
+            user, keys = protocol.decode_get_many_request(payload)
+            with self._service_lock:
+                results = self.service.get_many_timed(user, keys)
+            return self._response(Opcode.GET_MANY, request_id,
+                                  protocol.encode_get_many_response(results))
+        if opcode == Opcode.STATS:
+            return self._response(Opcode.STATS, request_id,
+                                  protocol.encode_stats_response(self._stats()))
+        if opcode == Opcode.WAIT:
+            duration_us = protocol.decode_wait_request(payload)
+            if self.background is None:
+                return self._error_frame(
+                    request_id, ErrorCode.UNSUPPORTED,
+                    "server has no background load attached")
+            with self._service_lock:
+                self.background.run_for(duration_us)
+                now = self.service.db.clock.now_us
+            return self._response(Opcode.WAIT, request_id,
+                                  protocol.encode_wait_response(now))
+        return self._error_frame(request_id, ErrorCode.UNSUPPORTED,
+                                 f"opcode {opcode} is not servable")
+
+    def _stats(self) -> protocol.StatsSnapshot:
+        stats = self.service.stats if hasattr(self.service, "stats") \
+            else self.service.service.stats
+        eviction = (self.background.eviction_wait_us()
+                    if self.background is not None else 0.0)
+        return protocol.StatsSnapshot(
+            sim_now_us=self.service.db.clock.now_us,
+            requests=stats.requests, ok=stats.ok,
+            not_found=stats.not_found, unauthorized=stats.unauthorized,
+            eviction_wait_us=eviction,
+            stalled_requests=getattr(self.service, "stalled_requests", 0),
+            total_stall_us=getattr(self.service, "total_stall_us", 0.0),
+        )
+
+    # ----------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _response(opcode: int, request_id: int, payload: bytes) -> Frame:
+        return Frame(opcode=opcode, request_id=request_id, payload=payload,
+                     flags=protocol.FLAG_RESPONSE)
+
+    def _error_frame(self, request_id: int, code: int, message: str) -> Frame:
+        return Frame(opcode=Opcode.ERROR, request_id=request_id,
+                     payload=protocol.encode_error(code, message),
+                     flags=protocol.FLAG_RESPONSE)
+
+    def _send_error(self, sock: socket.socket, request_id: int, code: int,
+                    message: str) -> None:
+        try:
+            sock.sendall(protocol.encode_frame(
+                self._error_frame(request_id, code, message)))
+        except OSError:
+            pass

@@ -50,63 +50,72 @@ WAN = NetworkModel(rtt_us=40_000.0, jitter_us=15.0, name="wan")
 
 
 class RemoteClient:
-    """The attacker's view of the service across a network.
+    """The attacker's view of a KV transport across a network.
+
+    ``transport`` is anything with the :class:`KVService` read surface
+    (``get`` / ``get_timed`` / ``getter`` / ``get_many`` /
+    ``get_many_timed``): the in-process service itself, a rate-limited
+    facade, or the wire client :class:`~repro.server.client.RemoteKV`.
+    Injecting the transport keeps exactly one copy of the observation
+    model — every transport's reported times gain RTT + jitter through
+    the same :meth:`_observe` path, so the simulated-network benches and
+    the real serving layer share one interface.
 
     Responses are unchanged; observed response times gain RTT + jitter.
     The jitter draws from this client's own seeded stream, so adding a
     remote client never perturbs the server-side simulation.
     """
 
-    def __init__(self, service: KVService, model: NetworkModel,
+    def __init__(self, transport, model: NetworkModel,
                  rng: SeededRng = None) -> None:
-        self.service = service
+        self.transport = transport
+        #: Backwards-compatible alias: historically the only transport was
+        #: the in-process service.
+        self.service = transport
         self.model = model
         self._rng = rng or make_rng(None, f"network/{model.name}")
 
     def get(self, user: int, key: bytes) -> Response:
         """Plain request (extension probes do not need timing)."""
-        return self.service.get(user, key)
+        return self.transport.get(user, key)
 
     def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
         """Request plus the response time as observed by the attacker."""
-        response, server_us = self.service.get_timed(user, key)
-        observed = server_us + self.model.rtt_us + self._noise()
-        return response, observed
+        response, server_us = self.transport.get_timed(user, key)
+        return response, self._observe(server_us)
 
     def getter(self, user: int) -> Callable[[bytes], Response]:
         """Fast-path closure (plain requests carry no network timing)."""
-        return self.service.getter(user)
+        return self.transport.getter(user)
 
     def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
         """Batch of plain requests."""
-        return self.service.get_many(user, keys)
+        return self.transport.get_many(user, keys)
 
     def get_many_timed(self, user: int, keys: Sequence[bytes]
                        ) -> List[Tuple[Response, float]]:
         """Batch of timed requests; noise draws match a ``get_timed`` loop.
 
-        Delegates to the wrapped service's batch API (preserving whatever
-        timing semantics it implements, e.g. stall exclusion), then adds
-        RTT + jitter per response.  The jitter stream is this client's own,
-        so the per-key draw sequence equals a ``get_timed`` loop's.
+        Delegates to the transport's batch API (preserving whatever timing
+        semantics it implements, e.g. stall exclusion), then adds RTT +
+        jitter per response.  The jitter stream is this client's own, so
+        the per-key draw sequence equals a ``get_timed`` loop's.
         """
-        rtt = self.model.rtt_us
-        jitter = self.model.jitter_us
-        gauss = self._rng.gauss
-        out: List[Tuple[Response, float]] = []
-        append = out.append
-        for response, server_us in self.service.get_many_timed(user, keys):
-            observed = server_us + rtt
-            if jitter:
-                observed += abs(gauss(0.0, jitter))
-            append((response, observed))
-        return out
+        observe = self._observe
+        return [(response, observe(server_us))
+                for response, server_us
+                in self.transport.get_many_timed(user, keys)]
 
-    def _noise(self) -> float:
-        if self.model.jitter_us == 0.0:
-            return 0.0
-        # One-sided (queueing-style) noise: delays add, never subtract.
-        return abs(self._rng.gauss(0.0, self.model.jitter_us))
+    def _observe(self, server_us: float) -> float:
+        """One observation: server-reported time + RTT + one-sided jitter.
+
+        The single point where network observation is modelled — queueing
+        style noise only ever *adds* delay.
+        """
+        observed = server_us + self.model.rtt_us
+        if self.model.jitter_us:
+            observed += abs(self._rng.gauss(0.0, self.model.jitter_us))
+        return observed
 
 
 class RemoteServiceAdapter:
@@ -118,8 +127,11 @@ class RemoteServiceAdapter:
 
     def __init__(self, client: RemoteClient) -> None:
         self._client = client
-        self.db = client.service.db
-        self.distinguish_unauthorized = client.service.distinguish_unauthorized
+        # Wire transports have no in-process db handle; the adapter then
+        # only offers the query surface (enough for the oracles).
+        self.db = getattr(client.transport, "db", None)
+        self.distinguish_unauthorized = getattr(
+            client.transport, "distinguish_unauthorized", True)
 
     def get(self, user: int, key: bytes) -> Response:
         """Forward a plain request."""

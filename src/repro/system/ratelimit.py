@@ -14,6 +14,7 @@ unchanged keys-extracted, massively inflated simulated wall-clock.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,11 @@ class RateLimitedService:
         self.db = service.db
         self.distinguish_unauthorized = service.distinguish_unauthorized
         self._buckets: Dict[int, _Bucket] = {}
+        #: Serializes bucket mutation and the stall counters: admission is
+        #: read-modify-write state, and concurrent callers (the threaded
+        #: wire server, or any multi-threaded embedder) would otherwise
+        #: race on token accounting and lose stall counts.
+        self._lock = threading.Lock()
         self.total_stall_us = 0.0
         self.stalled_requests = 0
 
@@ -66,23 +72,24 @@ class RateLimitedService:
 
     def _admit(self, user: int) -> None:
         clock = self.db.clock
-        bucket = self._buckets.get(user)
-        if bucket is None:
-            bucket = _Bucket(self.policy.burst, clock.now_us)
-            self._buckets[user] = bucket
-        rate = self.policy.requests_per_second / 1e6  # tokens per us
-        elapsed = clock.now_us - bucket.last_us
-        bucket.tokens = min(float(self.policy.burst),
-                            bucket.tokens + elapsed * rate)
-        bucket.last_us = clock.now_us
-        if bucket.tokens < 1.0:
-            stall = (1.0 - bucket.tokens) / rate
-            clock.charge(stall)
-            self.total_stall_us += stall
-            self.stalled_requests += 1
-            bucket.tokens = 1.0
+        with self._lock:
+            bucket = self._buckets.get(user)
+            if bucket is None:
+                bucket = _Bucket(self.policy.burst, clock.now_us)
+                self._buckets[user] = bucket
+            rate = self.policy.requests_per_second / 1e6  # tokens per us
+            elapsed = clock.now_us - bucket.last_us
+            bucket.tokens = min(float(self.policy.burst),
+                                bucket.tokens + elapsed * rate)
             bucket.last_us = clock.now_us
-        bucket.tokens -= 1.0
+            if bucket.tokens < 1.0:
+                stall = (1.0 - bucket.tokens) / rate
+                clock.charge(stall)
+                self.total_stall_us += stall
+                self.stalled_requests += 1
+                bucket.tokens = 1.0
+                bucket.last_us = clock.now_us
+            bucket.tokens -= 1.0
 
     # ---------------------------------------------------------------- surface
 

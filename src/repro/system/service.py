@@ -17,7 +17,8 @@ prefixes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ServiceError
@@ -33,12 +34,25 @@ ACL_CHECK_US = 0.3
 
 @dataclass
 class ServiceStats:
-    """Request counters by outcome."""
+    """Request counters by outcome.
+
+    Increments go through :meth:`record` under a lock: ``+=`` on an
+    attribute is a read-modify-write, and the threaded wire server (and
+    any other concurrent caller) would otherwise lose counts.
+    """
 
     requests: int = 0
     ok: int = 0
     not_found: int = 0
     unauthorized: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record(self, outcome: str) -> None:
+        """Atomically count one request with the given outcome field."""
+        with self._lock:
+            self.requests += 1
+            setattr(self, outcome, getattr(self, outcome) + 1)
 
 
 class KVService:
@@ -69,18 +83,17 @@ class KVService:
         UNAUTHORIZED when the system distinguishes them, a single FAILED
         otherwise.
         """
-        self.stats.requests += 1
         self.db.charge_cost(REQUEST_OVERHEAD_US)
         stored = self.db.get(key)
         if stored is None:
-            self.stats.not_found += 1
+            self.stats.record("not_found")
             return Response(self._failure(Status.NOT_FOUND))
         self.db.charge_cost(ACL_CHECK_US)
         acl, payload = unpack_value(stored)
         if not acl.allows_read(user):
-            self.stats.unauthorized += 1
+            self.stats.record("unauthorized")
             return Response(self._failure(Status.UNAUTHORIZED))
-        self.stats.ok += 1
+        self.stats.record("ok")
         return Response(Status.OK, payload)
 
     def get_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
@@ -100,24 +113,23 @@ class KVService:
         """
         db = self.db
         db_get = db.getter()
-        stats = self.stats
+        record = self.stats.record
         charge = db.charge_cost
         not_found_status = self._failure(Status.NOT_FOUND)
         unauthorized_status = self._failure(Status.UNAUTHORIZED)
 
         def get_one(key: bytes) -> Response:
-            stats.requests += 1
             charge(REQUEST_OVERHEAD_US)
             stored = db_get(key)
             if stored is None:
-                stats.not_found += 1
+                record("not_found")
                 return Response(not_found_status)
             charge(ACL_CHECK_US)
             acl, payload = unpack_value(stored)
             if not acl.allows_read(user):
-                stats.unauthorized += 1
+                record("unauthorized")
                 return Response(unauthorized_status)
-            stats.ok += 1
+            record("ok")
             return Response(Status.OK, payload)
 
         return get_one

@@ -1,0 +1,206 @@
+"""Wire-protocol codec properties: round trips and malformed-input safety.
+
+The invariant under test: every codec either round-trips exactly or
+raises :class:`ProtocolError` (:class:`VersionMismatchError` for foreign
+versions) — never a bare ``struct.error`` or silent corruption, whatever
+bytes a peer sends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError, VersionMismatchError
+from repro.server import protocol
+from repro.server.protocol import (
+    FLAG_ORDERED,
+    FLAG_RESPONSE,
+    HEADER_BYTES,
+    MAX_KEY_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    Opcode,
+    OrderToken,
+    StatsSnapshot,
+)
+from repro.system.responses import Response, Status
+
+keys = st.binary(min_size=0, max_size=64)
+users = st.integers(min_value=0, max_value=2**64 - 1)
+request_ids = st.integers(min_value=0, max_value=2**64 - 1)
+sim_times = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+statuses = st.sampled_from(list(Status))
+
+
+def responses():
+    return st.builds(
+        Response, statuses,
+        st.one_of(st.none(), st.binary(min_size=0, max_size=32)))
+
+
+class TestFrameRoundTrip:
+    @given(opcode=st.sampled_from(list(Opcode)), request_id=request_ids,
+           payload=st.binary(max_size=256),
+           flags=st.sampled_from([0, FLAG_RESPONSE, FLAG_ORDERED,
+                                  FLAG_RESPONSE | FLAG_ORDERED]))
+    def test_round_trip(self, opcode, request_id, payload, flags):
+        frame = Frame(opcode=opcode, request_id=request_id,
+                      payload=payload, flags=flags)
+        assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+
+    @given(opcode=st.sampled_from(list(Opcode)), payload=st.binary(max_size=64),
+           cut=st.integers(min_value=0, max_value=100))
+    def test_any_truncation_raises_cleanly(self, opcode, payload, cut):
+        wire = protocol.encode_frame(Frame(opcode=opcode, request_id=7,
+                                           payload=payload))
+        truncated = wire[:min(cut, len(wire) - 1)]
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(truncated)
+
+    def test_version_mismatch_is_its_own_error(self):
+        wire = bytearray(protocol.encode_frame(Frame(opcode=Opcode.PING,
+                                                     request_id=1)))
+        wire[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(VersionMismatchError):
+            protocol.decode_frame(bytes(wire))
+
+    def test_bad_magic_rejected(self):
+        wire = b"XX" + protocol.encode_frame(
+            Frame(opcode=Opcode.PING, request_id=1))[2:]
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(wire)
+
+    def test_unknown_opcode_rejected(self):
+        wire = bytearray(protocol.encode_frame(Frame(opcode=Opcode.PING,
+                                                     request_id=1)))
+        wire[3] = 0x6E
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(bytes(wire))
+
+    def test_unknown_flags_rejected(self):
+        wire = bytearray(protocol.encode_frame(Frame(opcode=Opcode.PING,
+                                                     request_id=1)))
+        wire[5] |= 0x80
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(bytes(wire))
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(Frame(
+                opcode=Opcode.PING, request_id=0,
+                payload=b"\0" * (protocol.MAX_PAYLOAD_BYTES + 1)))
+
+    def test_header_size_is_stable(self):
+        # The 18-byte header is a wire-compatibility contract.
+        assert HEADER_BYTES == 18
+
+
+class TestGetCodecs:
+    @given(user=users, key=keys)
+    def test_get_request_round_trip(self, user, key):
+        wire = protocol.encode_get_request(user, key)
+        assert protocol.decode_get_request(wire) == (user, key)
+
+    def test_max_length_key_round_trips(self):
+        key = b"\xab" * MAX_KEY_BYTES
+        assert protocol.decode_get_request(
+            protocol.encode_get_request(1, key)) == (1, key)
+
+    def test_over_length_key_refused(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_get_request(1, b"k" * (MAX_KEY_BYTES + 1))
+
+    @given(user=users, key_list=st.lists(keys, max_size=20))
+    def test_get_many_request_round_trip(self, user, key_list):
+        wire = protocol.encode_get_many_request(user, key_list)
+        assert protocol.decode_get_many_request(wire) == (user, key_list)
+
+    def test_empty_batch_round_trips(self):
+        wire = protocol.encode_get_many_request(9, [])
+        assert protocol.decode_get_many_request(wire) == (9, [])
+
+    @given(user=users, key_list=st.lists(keys, min_size=1, max_size=8),
+           extra=st.binary(min_size=1, max_size=4))
+    def test_trailing_bytes_rejected(self, user, key_list, extra):
+        wire = protocol.encode_get_many_request(user, key_list) + extra
+        with pytest.raises(ProtocolError):
+            protocol.decode_get_many_request(wire)
+
+    @given(user=users, key_list=st.lists(keys, min_size=1, max_size=8),
+           cut=st.integers(min_value=1, max_value=200))
+    def test_truncated_batch_rejected(self, user, key_list, cut):
+        wire = protocol.encode_get_many_request(user, key_list)
+        with pytest.raises(ProtocolError):
+            protocol.decode_get_many_request(wire[:-min(cut, len(wire))] )
+
+
+class TestResultCodecs:
+    @given(response=responses(), sim_us=sim_times)
+    def test_result_round_trip(self, response, sim_us):
+        wire = protocol.encode_result(response, sim_us)
+        decoded, decoded_us, consumed = protocol.decode_result(wire)
+        assert decoded == response
+        assert decoded_us == sim_us
+        assert consumed == len(wire)
+
+    @given(results=st.lists(st.tuples(responses(), sim_times), max_size=16))
+    def test_get_many_response_round_trip(self, results):
+        wire = protocol.encode_get_many_response(results)
+        assert protocol.decode_get_many_response(wire) == results
+
+    @given(results=st.lists(st.tuples(responses(), sim_times),
+                            min_size=1, max_size=8),
+           cut=st.integers(min_value=1, max_value=64))
+    def test_truncated_response_rejected(self, results, cut):
+        wire = protocol.encode_get_many_response(results)
+        with pytest.raises(ProtocolError):
+            protocol.decode_get_many_response(wire[:-min(cut, len(wire))])
+
+    def test_unknown_status_code_rejected(self):
+        wire = bytearray(protocol.encode_result(Response(Status.OK, None), 1.0))
+        wire[0] = 250
+        with pytest.raises(ProtocolError):
+            protocol.decode_result(bytes(wire))
+
+
+class TestControlCodecs:
+    @given(token=st.builds(OrderToken,
+                           st.integers(min_value=0, max_value=2**64 - 1),
+                           st.integers(min_value=0, max_value=2**64 - 1)),
+           payload=st.binary(max_size=64))
+    def test_order_token_round_trip(self, token, payload):
+        assert protocol.split_order(
+            protocol.prepend_order(payload, token)) == (token, payload)
+
+    def test_short_ordered_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_order(b"\0" * 15)
+
+    @given(stats=st.builds(
+        StatsSnapshot, sim_times,
+        *[st.integers(min_value=0, max_value=2**32) for _ in range(4)],
+        sim_times, st.integers(min_value=0, max_value=2**32), sim_times))
+    def test_stats_round_trip(self, stats):
+        wire = protocol.encode_stats_response(stats)
+        assert protocol.decode_stats_response(wire) == stats
+
+    @given(duration=st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+    def test_wait_round_trip(self, duration):
+        assert protocol.decode_wait_request(
+            protocol.encode_wait_request(duration)) == duration
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_wait_request(-1.0)
+        with pytest.raises(ProtocolError):
+            protocol.decode_wait_request(protocol._F64.pack(-5.0))
+
+    @given(code=st.integers(min_value=0, max_value=255),
+           message=st.text(max_size=80))
+    def test_error_round_trip(self, code, message):
+        decoded_code, decoded_message = protocol.decode_error(
+            protocol.encode_error(code, message))
+        assert decoded_code == code
+        assert decoded_message == message
