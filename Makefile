@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke clean
+.PHONY: check test test39 bench serve-smoke torture clean
 
 check: test test39
 
@@ -33,6 +33,14 @@ bench:
 # store, serve it, ping + get + stats from a client, shut down cleanly.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve --keys 2000 --width 4 --smoke
+
+# Exhaustive crash-point sweep over a fixed seed matrix: every device
+# mutation of a 200-op workload is crashed (torn final write), recovered,
+# and diffed against a dict oracle of the acknowledged ops.  Nonzero exit
+# on the first lost or resurrected write.
+torture:
+	PYTHONPATH=src $(PYTHON) -m repro.cli doctor --torture --ops 200 \
+	    --seeds 0,1,2
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -207,6 +207,63 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _cmd_doctor(args) -> int:
+    from repro.common.rng import make_rng
+    from repro.lsm import LSMTree
+    from repro.lsm.torture import crash_point_sweep, default_torture_options
+    from repro.storage import FaultPlan, FaultyStorageDevice, SimClock
+
+    if args.torture:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        failed = False
+        for seed in seeds:
+            sweep = crash_point_sweep(seed, num_ops=args.ops,
+                                      stride=args.stride,
+                                      progress=(print if args.verbose
+                                                else None))
+            print(sweep.describe(), flush=True)
+            failed = failed or not sweep.ok
+        return 1 if failed else 0
+
+    # Demonstration mode: build a small store, optionally injure it, then
+    # recover and print what the recovery path decided.
+    clock = SimClock()
+    device = FaultyStorageDevice(clock, rng=make_rng(args.seed, "doctor"),
+                                 plan=FaultPlan(seed=args.seed))
+    options = default_torture_options()
+    db = LSMTree(options=options, clock=clock, device=device)
+    for index in range(args.ops):
+        db.put(b"key%04d" % (index % 64), b"value-%05d" % index)
+
+    if args.tear_wal and device.exists("wal/current.wal"):
+        size = device.file_size("wal/current.wal")
+        torn = device.read("wal/current.wal", 0, max(1, size - args.tear_wal))
+        device.delete_file("wal/current.wal")
+        device.create_file("wal/current.wal", torn)
+        print(f"tore {args.tear_wal} byte(s) off the WAL tail")
+    for target in args.flip or []:
+        path = {"wal": "wal/current.wal", "manifest": "MANIFEST"}.get(target)
+        if path is None:  # "sstable": newest table file
+            tables = sorted(p for p in device.list_files()
+                            if p.startswith("sst/"))
+            if not tables:
+                print("no SSTable to corrupt (workload too small)",
+                      file=sys.stderr)
+                return 2
+            path = tables[-1]
+        if not device.exists(path):
+            print(f"nothing to corrupt: {path} does not exist",
+                  file=sys.stderr)
+            return 2
+        byte = device.flip_random_bit(path)
+        print(f"flipped one bit of {path} (byte {byte})")
+
+    recovered = LSMTree.reopen(device, options=default_torture_options())
+    report = recovered.recovery_report
+    print(report.summary())
+    return 0 if (report.clean or not args.strict) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatch."""
     parser = argparse.ArgumentParser(
@@ -281,6 +338,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="learning-phase samples (default 6000)")
     attack.add_argument("--seed", type=int, default=0)
 
+    doctor = sub.add_parser(
+        "doctor",
+        help="crash-recovery diagnostics: inject faults, recover, report")
+    doctor.add_argument("--ops", type=int, default=200,
+                        help="workload operations (default 200)")
+    doctor.add_argument("--seed", type=int, default=0,
+                        help="seed for the demonstration store")
+    doctor.add_argument("--flip", action="append",
+                        choices=("wal", "manifest", "sstable"),
+                        help="flip a seeded random bit of this file "
+                             "(repeatable)")
+    doctor.add_argument("--tear-wal", type=int, default=0, metavar="BYTES",
+                        help="cut this many bytes off the WAL tail "
+                             "(simulates a torn final append)")
+    doctor.add_argument("--strict", action="store_true",
+                        help="exit nonzero unless recovery was fully clean")
+    doctor.add_argument("--torture", action="store_true",
+                        help="run the full crash-point sweep instead")
+    doctor.add_argument("--seeds", default="0,1,2",
+                        help="torture: comma-separated seeds (default 0,1,2)")
+    doctor.add_argument("--stride", type=int, default=1,
+                        help="torture: test every Nth crash point "
+                             "(default 1 = exhaustive)")
+    doctor.add_argument("--verbose", action="store_true",
+                        help="torture: print progress lines")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -290,6 +373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "doctor":
+        return _cmd_doctor(args)
     return _cmd_run(args.names)
 
 

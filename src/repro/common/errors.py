@@ -28,6 +28,25 @@ class ReadOutOfBoundsError(StorageError):
     """A read extends past the end of a simulated file."""
 
 
+class SimulatedCrashError(StorageError):
+    """The fault plan killed the simulated process mid-operation.
+
+    Raised by :class:`~repro.storage.faults.FaultyStorageDevice` at its
+    scheduled crash point and on every mutation afterwards until the
+    device is :meth:`~repro.storage.faults.FaultyStorageDevice.revive`\\ d
+    (the "restart" that precedes recovery).
+    """
+
+
+class TransientIOError(StorageError):
+    """A read failed for a retryable reason (media hiccup, timeout).
+
+    Unlike :class:`CorruptionError` the same read may succeed when
+    reissued; recovery paths retry a bounded number of times before
+    treating the data as unreadable.
+    """
+
+
 class CorruptionError(ReproError):
     """On-disk structure failed validation (bad magic, checksum, bounds)."""
 

@@ -4,10 +4,18 @@ from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.compaction import Compactor
 from repro.lsm.db import DBStats, LSMTree
 from repro.lsm.iterator import merge_entries
-from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.manifest import Manifest, ManifestEntry, ManifestLoad
 from repro.lsm.memtable import TOMBSTONE, Entry, MemTable
 from repro.lsm.options import CostModel, LSMOptions
+from repro.lsm.recovery import QuarantinedFile, RecoveryReport
 from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
+from repro.lsm.torture import (
+    CrashPointResult,
+    SweepResult,
+    crash_point_sweep,
+    generate_workload,
+    run_crash_point,
+)
 from repro.lsm.version import Version
 from repro.lsm.wal import WriteAheadLog
 
@@ -16,18 +24,26 @@ __all__ = [
     "BlockBuilder",
     "Compactor",
     "CostModel",
+    "CrashPointResult",
     "DBStats",
     "Entry",
     "LSMOptions",
     "LSMTree",
     "Manifest",
     "ManifestEntry",
+    "ManifestLoad",
     "MemTable",
+    "QuarantinedFile",
+    "RecoveryReport",
     "SSTable",
     "SSTableBuilder",
     "SSTableReader",
+    "SweepResult",
     "TOMBSTONE",
     "Version",
     "WriteAheadLog",
+    "crash_point_sweep",
+    "generate_workload",
     "merge_entries",
+    "run_crash_point",
 ]

@@ -13,8 +13,11 @@ key-value pairs"):
 
 Merged outputs are split at ``sstable_target_bytes``; tombstones are
 dropped only when the output level is the bottommost populated level
-(below it nothing can be shadowed).  Old files are deleted from the device
-and their pages invalidated from the cache.
+(below it nothing can be shadowed).  Old files have their pages
+invalidated from the cache immediately but are only *queued* for deletion
+(:meth:`Compactor.drain_obsolete`): the LSM tree deletes them after the
+manifest durably records the post-compaction version, so no crash point
+can leave a manifest referencing files that are already gone.
 
 The size-tiered style (``compaction_style="tiered"``) instead keeps every
 run in L0 and merges recency-adjacent runs of similar size — Cassandra's
@@ -47,6 +50,7 @@ class Compactor:
         self.version = version
         self._allocate_path = allocate_path
         self.compactions_run = 0
+        self._obsolete: List[str] = []
 
     # ----------------------------------------------------------------- policy
 
@@ -91,9 +95,7 @@ class Compactor:
             self.version.levels[0] = remaining[:start] + merged \
                 + remaining[start:]
             self.version._max_keys[0] = None
-            for table in runs:
-                self.cache.invalidate_file(table.path)
-                self.device.delete_file(table.path)
+            self._retire(runs)
             self.compactions_run += 1
             ran += 1
 
@@ -105,9 +107,7 @@ class Compactor:
         merged = self._merge_runs(runs, drop_tombstones=True)
         self.version.levels[0] = merged
         self.version._max_keys[0] = None
-        for table in runs:
-            self.cache.invalidate_file(table.path)
-            self.device.delete_file(table.path)
+        self._retire(runs)
         self.compactions_run += 1
 
     def _find_tier_window(self):
@@ -196,14 +196,29 @@ class Compactor:
 
         removed = newer + older
         self.version.install(target_level, outputs, removed)
-        for table in removed:
-            self.cache.invalidate_file(table.path)
-            self.device.delete_file(table.path)
+        self._retire(removed)
         self.compactions_run += 1
         if not outputs and not drop_tombstones and any(
             t.num_entries for t in removed
         ):
             raise CompactionError("compaction dropped live entries")
+
+    def _retire(self, tables: List[SSTable]) -> None:
+        """Drop the tables' cached pages now; queue the files for deletion.
+
+        The files stay on the device until :meth:`drain_obsolete` — after
+        the manifest write that stops referencing them — so a crash in
+        between can still recover from the old manifest.
+        """
+        for table in tables:
+            self.cache.invalidate_file(table.path)
+            self._obsolete.append(table.path)
+
+    def drain_obsolete(self) -> List[str]:
+        """Hand over (and forget) the files retired since the last drain."""
+        drained = self._obsolete
+        self._obsolete = []
+        return drained
 
     def _is_bottom(self, target_level: int) -> bool:
         return all(not self.version.levels[lvl]

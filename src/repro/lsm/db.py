@@ -17,12 +17,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
-from repro.common.errors import ConfigError, DBClosedError
+from repro.common.errors import (
+    ConfigError,
+    CorruptionError,
+    DBClosedError,
+    FileNotFoundInStoreError,
+    StorageError,
+    TransientIOError,
+)
 from repro.common.rng import make_rng
 from repro.lsm.compaction import Compactor
-from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.manifest import Manifest, ManifestEntry, ManifestLoad
 from repro.lsm.memtable import Entry, MemTable
 from repro.lsm.options import LSMOptions
+from repro.lsm.recovery import (
+    REASON_CORRUPT,
+    REASON_MISSING,
+    REASON_UNREADABLE,
+    QuarantinedFile,
+    RecoveryReport,
+)
 from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
 from repro.lsm.version import Version
 from repro.lsm.wal import WriteAheadLog
@@ -81,41 +95,183 @@ class LSMTree:
         self.stats = DBStats()
         self._cost_rng = rng.spawn("costs")
         self._closed = False
+        #: Filled by :meth:`reopen`; None for a freshly created tree.
+        self.recovery_report: Optional[RecoveryReport] = None
 
     # --------------------------------------------------------------- recovery
+
+    #: How often :meth:`reopen` reissues a read that failed transiently
+    #: before giving up on the table.
+    TRANSIENT_OPEN_RETRIES = 3
 
     @classmethod
     def reopen(cls, device: StorageDevice,
                options: Optional[LSMOptions] = None) -> "LSMTree":
         """Recover a tree from an existing device: manifest + WAL replay.
 
+        The recovery path is built to survive a hostile disk, not just a
+        clean restart: the manifest is loaded from the newest readable
+        generation (``MANIFEST`` / ``.new`` / ``.prev``), tables that
+        cannot be opened — corrupt, missing, or persistently erroring —
+        are quarantined instead of crashing recovery, unreferenced table
+        files are swept aside, and the WAL tail is classified by checksum
+        (torn vs corrupt) with everything after the first untrustworthy
+        record dropped.  What happened is recorded on
+        ``db.recovery_report`` (:class:`RecoveryReport`).
+
         Filters load from each table's persisted filter block; tables
         written without one (filterless configurations) fall back to
         rebuilding from their keys when the options supply a builder.
         """
         db = cls(options=options, clock=device.clock, device=device)
-        for entry in db._manifest.read():
-            reader = SSTableReader.open(device, entry.path)
-            min_key, max_key = reader.properties()
-            filt = reader.load_filter()
-            if filt is None and db.options.filter_builder is not None:
-                keys = [key for key, _ in reader.iterate_from(b"", db.cache)]
-                filt = db.options.filter_builder.build(keys)
-            table = SSTable(path=entry.path, reader=reader, filter=filt,
-                            min_key=min_key, max_key=max_key,
-                            num_entries=entry.num_entries,
-                            size_bytes=entry.size_bytes)
+        report = RecoveryReport()
+        db.recovery_report = report
+
+        try:
+            load = db._retry_transient(db._manifest.read_checked, report)
+        except TransientIOError:
+            load = ManifestLoad(unreadable=True)
+        report.manifest_source = load.source
+        report.manifest_fallback = (load.source is not None
+                                    and load.source != db._manifest.path)
+        report.manifest_legacy = load.legacy and load.source is not None
+        report.manifest_unreadable = load.unreadable
+        report.manifest_corrupt_entries = load.corrupt_entries
+
+        referenced = set()
+        for entry in load.entries:
+            referenced.add(entry.path)
+            db._bump_file_counter(entry.path)
+            table = db._recover_table(entry, report)
+            if table is None:
+                continue
             if entry.level == 0:
                 db._version.levels[0].append(table)
             else:
                 db._version.install(entry.level, [table], [])
-            db._bump_file_counter(entry.path)
-        for key, value in db._wal.replay(tolerate_torn_tail=True):
+            report.tables_opened += 1
+        db._sweep_orphans(referenced, report)
+
+        try:
+            records = db._retry_transient(
+                lambda: list(db._wal.replay(tolerate_torn_tail=True,
+                                            report=report)), report)
+        except TransientIOError:
+            # The WAL itself is persistently unreadable: recover the
+            # table state and surface the loss loudly.
+            records = []
+            report.wal_tail_dropped = True
+            report.wal_tail_reason = REASON_UNREADABLE
+        for key, value in records:
             if value is None:
                 db._memtable.delete(key)
             else:
                 db._memtable.put(key, value)
+        if report.wal_tail_reason == REASON_UNREADABLE:
+            if device.exists(db._wal.path):
+                db._quarantine(db._wal.path, REASON_UNREADABLE, report)
+        elif report.wal_tail_dropped or report.wal_legacy_format:
+            # Rewrite the log to exactly the replayed records: appends
+            # from the recovered process must never land after a dropped
+            # tail's garbage, where the *next* recovery would discard
+            # them (a bug the stateful crash tests caught).  This also
+            # upgrades legacy v1 logs to the checksummed format.
+            db._wal.reset()
+            for key, value in records:
+                if value is None:
+                    db._wal.log_delete(key)
+                else:
+                    db._wal.log_put(key, value)
+
+        # When recovery diverged from what the primary manifest said —
+        # fallback generation, corrupt entries, quarantined tables, or a
+        # pre-checksum format — persist the recovered version so the next
+        # restart starts from a clean, checksummed manifest.
+        if (report.manifest_fallback or report.manifest_unreadable
+                or report.manifest_corrupt_entries or report.quarantined
+                or report.manifest_legacy):
+            db._commit_version()
         return db
+
+    def _retry_transient(self, fn, report: RecoveryReport):
+        """Call ``fn``, retrying through a bounded number of transient
+        read errors (each retry restarts the whole — idempotent — call)."""
+        budget = self.TRANSIENT_OPEN_RETRIES
+        while True:
+            try:
+                return fn()
+            except TransientIOError:
+                report.transient_retries += 1
+                budget -= 1
+                if budget < 0:
+                    raise
+
+    def _recover_table(self, entry: ManifestEntry,
+                       report: RecoveryReport) -> Optional[SSTable]:
+        """Open one manifest-listed table, or quarantine it and return None.
+
+        Transient read errors are retried a bounded number of times (the
+        whole open restarts — it is cheap and idempotent); corruption and
+        missing files quarantine immediately.
+        """
+        transient_budget = self.TRANSIENT_OPEN_RETRIES
+        while True:
+            try:
+                reader = SSTableReader.open(self.device, entry.path)
+                min_key, max_key = reader.properties()
+                filt = reader.load_filter()
+                if filt is None and self.options.filter_builder is not None:
+                    keys = [key for key, _
+                            in reader.iterate_from(b"", self.cache)]
+                    filt = self.options.filter_builder.build(keys)
+                return SSTable(path=entry.path, reader=reader, filter=filt,
+                               min_key=min_key, max_key=max_key,
+                               num_entries=entry.num_entries,
+                               size_bytes=entry.size_bytes)
+            except TransientIOError as exc:
+                report.transient_retries += 1
+                transient_budget -= 1
+                if transient_budget < 0:
+                    self._quarantine(entry.path, REASON_UNREADABLE, report,
+                                     str(exc))
+                    return None
+            except FileNotFoundInStoreError as exc:
+                report.quarantined.append(QuarantinedFile(
+                    entry.path, REASON_MISSING, None, str(exc)))
+                return None
+            except (CorruptionError, StorageError) as exc:
+                self._quarantine(entry.path, REASON_CORRUPT, report, str(exc))
+                return None
+
+    def _quarantine(self, path: str, reason: str, report: RecoveryReport,
+                    detail: str = "") -> None:
+        """Move an untrusted file out of the data namespace, keeping it
+        for post-mortem instead of deleting possibly-recoverable bytes."""
+        moved_to = None
+        if self.device.exists(path):
+            moved_to = "quarantine/" + path.replace("/", "_")
+            self.device.rename(path, moved_to)
+            self.cache.invalidate_file(path)
+        report.quarantined.append(QuarantinedFile(path, reason, moved_to,
+                                                  detail))
+
+    def _sweep_orphans(self, referenced: set,
+                       report: RecoveryReport) -> None:
+        """Quarantine table files no manifest generation references.
+
+        These are the half-born outputs of a flush or compaction that
+        crashed before its manifest commit (possibly torn mid-write);
+        they carry only unacknowledged state and must not shadow — or be
+        confused with — live tables.
+        """
+        for path in self.device.list_files():
+            if not path.startswith("sst/") or path in referenced:
+                continue
+            self._bump_file_counter(path)
+            moved_to = "quarantine/" + path.replace("/", "_")
+            self.device.rename(path, moved_to)
+            self.cache.invalidate_file(path)
+            report.orphans_quarantined.append(path)
 
     def _bump_file_counter(self, path: str) -> None:
         try:
@@ -153,7 +309,16 @@ class LSMTree:
             self.flush()
 
     def flush(self) -> Optional[SSTable]:
-        """Flush the memtable to a new L0 SSTable (no-op when empty)."""
+        """Flush the memtable to a new L0 SSTable (no-op when empty).
+
+        Crash-ordering contract: the WAL is reset only *after* the
+        manifest durably lists the flushed table (and obsolete files are
+        deleted only after the manifest stops referencing them).  At
+        every intermediate crash point the acknowledged writes live in
+        the WAL, in a manifest-listed table, or in both — replaying a
+        WAL whose records were already flushed is idempotent, losing
+        them is not.
+        """
         self._check_open()
         if not len(self._memtable):
             return None
@@ -165,11 +330,11 @@ class LSMTree:
         table = builder.finish()
         self._version.add_l0(table)
         self._memtable = MemTable(self._rng.spawn(f"memtable-{self._next_file}"))
-        if self.options.enable_wal:
-            self._wal.reset()
         self.stats.flushes += 1
         self._compactor.maybe_compact()
-        self._write_manifest()
+        self._commit_version()
+        if self.options.enable_wal:
+            self._wal.reset()
         return table
 
     def compact_all(self) -> None:
@@ -183,7 +348,7 @@ class LSMTree:
             while self._version.levels[0]:
                 self._compactor._compact_l0()
             self._compactor.maybe_compact()
-        self._write_manifest()
+        self._commit_version()
 
     def bulk_load(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
         """Ingest pre-sorted unique (key, value) pairs as bottom-level tables.
@@ -220,7 +385,7 @@ class LSMTree:
             return
         level = self._deepest_fitting_level(total_bytes)
         self._version.install(level, tables, [])
-        self._write_manifest()
+        self._commit_version()
 
     def _deepest_fitting_level(self, total_bytes: int) -> int:
         for level in range(self.options.max_levels - 1, 0, -1):
@@ -458,7 +623,7 @@ class LSMTree:
         if self._closed:
             return
         self.flush()
-        self._write_manifest()
+        self._commit_version()
         self._closed = True
 
     def charge_cost(self, base_us: float) -> None:
@@ -489,6 +654,17 @@ class LSMTree:
                                              table.num_entries,
                                              table.size_bytes))
         self._manifest.write(entries)
+
+    def _commit_version(self) -> None:
+        """Durably record the live version, then delete what it dropped.
+
+        Obsolete files queued by compaction are removed only here, after
+        the manifest stops referencing them — the other half of the
+        crash-ordering contract (see :meth:`flush`).
+        """
+        self._write_manifest()
+        for path in self._compactor.drain_obsolete():
+            self.device.delete_file(path)
 
     # ------------------------------------------------------------------ intro
     def describe(self) -> dict:

@@ -1,22 +1,42 @@
 """Manifest: the persistent record of which SSTables live at which level.
 
-Rewritten atomically (single ``create_file``) after every flush or
-compaction, and read back at :meth:`repro.lsm.db.LSMTree.reopen` time to
-reconstruct the version.  The format is one line per table::
+Replaced after every flush or compaction and read back at
+:meth:`repro.lsm.db.LSMTree.reopen` time to reconstruct the version.
 
-    <level> <path> <num_entries> <size_bytes>
+Format v2 (current): a header line then one checksummed line per table::
 
-Key ranges and filters are *not* stored here; they are recovered from the
-tables' own properties blocks and by rebuilding filters from table keys.
+    MANIFESTv2 <entry_count>
+    <crc32-hex> <level> <path> <num_entries> <size_bytes>
+
+Each line's CRC32 covers the text after the checksum field, so a flipped
+bit in any record is detected on read instead of silently installing a
+wrong level/size (or a truncated table list).  v1 files (bare
+``<level> <path> <num_entries> <size_bytes>`` lines, no header) are still
+decoded; writes are always v2.
+
+Replacement is atomic, write-new-then-swap::
+
+    create  MANIFEST.new        (torn by a crash? old MANIFEST intact)
+    rename  MANIFEST -> MANIFEST.prev
+    rename  MANIFEST.new -> MANIFEST
+
+A crash at any point leaves at least one complete, checksummed manifest
+on the device; :meth:`Manifest.read_checked` falls back across the three
+names newest-first.  Key ranges and filters are *not* stored here; they
+are recovered from the tables' own properties blocks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.common.errors import CorruptionError
 from repro.storage.device import StorageDevice
+
+#: v2 header tag (first token of the first line).
+HEADER_TAG = "MANIFESTv2"
 
 
 @dataclass(frozen=True)
@@ -29,36 +49,170 @@ class ManifestEntry:
     size_bytes: int
 
 
+@dataclass
+class ManifestLoad:
+    """Outcome of a fault-tolerant manifest read (recovery path)."""
+
+    entries: List[ManifestEntry] = field(default_factory=list)
+    #: Which file the entries came from (None: no manifest found at all).
+    source: Optional[str] = None
+    #: Entry lines skipped because their checksum failed.
+    corrupt_entries: int = 0
+    #: The winning file used the pre-checksum v1 format.
+    legacy: bool = False
+    #: A manifest existed but no candidate parsed (total corruption).
+    unreadable: bool = False
+
+
 class Manifest:
-    """Reads and rewrites the manifest file on the simulated device."""
+    """Reads and atomically replaces the manifest file on the device."""
 
     def __init__(self, device: StorageDevice, path: str = "MANIFEST") -> None:
         self.device = device
         self.path = path
 
+    # ---------------------------------------------------------------- writing
+
+    @staticmethod
+    def _encode_line(entry: ManifestEntry) -> str:
+        body = f"{entry.level} {entry.path} {entry.num_entries} {entry.size_bytes}"
+        return f"{zlib.crc32(body.encode()):08x} {body}"
+
     def write(self, entries: List[ManifestEntry]) -> None:
-        """Persist the complete current version."""
-        lines = [
-            f"{e.level} {e.path} {e.num_entries} {e.size_bytes}"
-            for e in entries
-        ]
-        self.device.create_file(self.path, "\n".join(lines).encode())
+        """Persist the complete current version, atomically.
+
+        The new manifest becomes visible only through the final rename; a
+        crash before it keeps the previous manifest, and the displaced
+        previous manifest survives as ``<path>.prev`` for one more
+        generation of fallback.
+        """
+        lines = [f"{HEADER_TAG} {len(entries)}"]
+        lines.extend(self._encode_line(e) for e in entries)
+        staging = self.path + ".new"
+        self.device.create_file(staging, "\n".join(lines).encode())
+        if self.device.exists(self.path):
+            self.device.rename(self.path, self.path + ".prev")
+        self.device.rename(staging, self.path)
+
+    # ---------------------------------------------------------------- reading
 
     def read(self) -> List[ManifestEntry]:
-        """Load the last persisted version (empty if no manifest exists)."""
+        """Load the last persisted version (empty if no manifest exists).
+
+        Strict: any checksum failure or header/count mismatch raises
+        :class:`CorruptionError`.  Recovery uses :meth:`read_checked`.
+        """
         if not self.device.exists(self.path):
             return []
         raw = self.device.read(self.path, 0, self.device.file_size(self.path))
+        entries, corrupt, legacy = self._parse(raw)
+        if corrupt:
+            raise CorruptionError(
+                f"{corrupt} manifest entr{'y' if corrupt == 1 else 'ies'} "
+                f"failed checksum")
+        return entries
+
+    def read_checked(self) -> ManifestLoad:
+        """Fault-tolerant read for recovery: newest readable source wins.
+
+        Tries ``MANIFEST``, then ``MANIFEST.new`` (complete but not yet
+        swapped in), then ``MANIFEST.prev``.  Within the winning file,
+        entry lines failing their checksum are skipped and counted —
+        the caller decides what to do about the tables they referenced.
+        """
+        existed = False
+        for source in (self.path, self.path + ".new", self.path + ".prev"):
+            if not self.device.exists(source):
+                continue
+            existed = True
+            raw = self.device.read(source, 0, self.device.file_size(source))
+            try:
+                entries, corrupt, legacy = self._parse(raw)
+            except CorruptionError:
+                continue
+            return ManifestLoad(entries=entries, source=source,
+                                corrupt_entries=corrupt, legacy=legacy)
+        return ManifestLoad(unreadable=existed)
+
+    # ---------------------------------------------------------------- parsing
+
+    def _parse(self, raw: bytes) -> Tuple[List[ManifestEntry], int, bool]:
+        """Decode either format; returns (entries, corrupt_count, legacy).
+
+        Raises :class:`CorruptionError` when the data is structurally
+        unusable (undecodable text, garbled header, malformed v1 line);
+        per-line checksum failures in v2 are *counted*, not raised, so
+        one flipped record cannot take down the whole table list.
+        """
+        try:
+            text = raw.decode()
+        except UnicodeDecodeError as exc:
+            raise CorruptionError(f"manifest is not text: {exc}") from None
+        lines = text.splitlines()
+        if lines and lines[0].split() and lines[0].split()[0] == HEADER_TAG:
+            return self._parse_v2(lines)
+        return self._parse_v1(lines) + (True,)
+
+    def _parse_v2(self, lines: List[str]) -> Tuple[List[ManifestEntry], int, bool]:
+        header = lines[0].split()
+        if len(header) != 2:
+            raise CorruptionError(f"malformed manifest header: {lines[0]!r}")
+        try:
+            declared = int(header[1])
+        except ValueError:
+            raise CorruptionError(
+                f"malformed manifest entry count: {header[1]!r}") from None
         entries: List[ManifestEntry] = []
-        for line_number, line in enumerate(raw.decode().splitlines(), 1):
+        corrupt = 0
+        body = [line for line in lines[1:] if line.strip()]
+        for line in body:
+            crc_field, _, rest = line.partition(" ")
+            entry = self._decode_line(crc_field, rest)
+            if entry is None:
+                corrupt += 1
+                continue
+            entries.append(entry)
+        # Fewer lines than declared means the file was cut short (only
+        # possible for media truncation: the swap is atomic) — the missing
+        # entries count as corrupt so recovery knows the list is partial.
+        if len(body) < declared:
+            corrupt += declared - len(body)
+        return entries, corrupt, False
+
+    @staticmethod
+    def _decode_line(crc_field: str, rest: str) -> Optional[ManifestEntry]:
+        try:
+            expected = int(crc_field, 16)
+        except ValueError:
+            return None
+        if len(crc_field) != 8 or zlib.crc32(rest.encode()) != expected:
+            return None
+        parts = rest.split()
+        if len(parts) != 4:
+            return None
+        level, path, num_entries, size_bytes = parts
+        try:
+            return ManifestEntry(int(level), path, int(num_entries),
+                                 int(size_bytes))
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _parse_v1(lines: List[str]) -> Tuple[List[ManifestEntry], int]:
+        entries: List[ManifestEntry] = []
+        for line_number, line in enumerate(lines, 1):
             if not line.strip():
                 continue
             parts = line.split()
             if len(parts) != 4:
                 raise CorruptionError(
-                    f"manifest line {line_number} malformed: {line!r}"
-                )
+                    f"manifest line {line_number} malformed: {line!r}")
             level, path, num_entries, size_bytes = parts
-            entries.append(ManifestEntry(int(level), path,
-                                         int(num_entries), int(size_bytes)))
-        return entries
+            try:
+                entries.append(ManifestEntry(int(level), path,
+                                             int(num_entries), int(size_bytes)))
+            except ValueError:
+                raise CorruptionError(
+                    f"manifest line {line_number} malformed: {line!r}"
+                ) from None
+        return entries, 0

@@ -1,0 +1,118 @@
+"""Structured accounting of one crash-recovery pass.
+
+:meth:`repro.lsm.db.LSMTree.reopen` fills a :class:`RecoveryReport` as it
+rebuilds the tree: which manifest generation it trusted, which tables it
+had to quarantine (and why), how the WAL tail was classified, how many
+transient read errors it retried through.  The report is the machine-
+checkable contract the crash-torture suite asserts against, and the
+human-readable output of ``prefix-siphoning doctor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Quarantine reasons.
+REASON_CORRUPT = "corrupt"          # open/parse failed checksum or bounds
+REASON_MISSING = "missing"          # manifest references a file that is gone
+REASON_UNREADABLE = "unreadable"    # transient errors persisted past retries
+REASON_ORPHAN = "orphan"            # on-device table no manifest references
+
+
+@dataclass(frozen=True)
+class QuarantinedFile:
+    """One file recovery refused to trust."""
+
+    path: str
+    reason: str
+    #: Where the file was moved (None when it no longer existed).
+    moved_to: Optional[str] = None
+    detail: str = ""
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one ``reopen`` decided, for tests, ops and the CLI."""
+
+    # -- manifest
+    manifest_source: Optional[str] = None
+    #: The primary manifest was unusable; a staged/previous copy won.
+    manifest_fallback: bool = False
+    manifest_legacy: bool = False
+    manifest_unreadable: bool = False
+    manifest_corrupt_entries: int = 0
+    # -- tables
+    tables_opened: int = 0
+    quarantined: List[QuarantinedFile] = field(default_factory=list)
+    #: On-device table files no manifest generation referenced (the
+    #: half-born outputs of a crashed flush/compaction), swept aside.
+    orphans_quarantined: List[str] = field(default_factory=list)
+    # -- WAL
+    wal_legacy_format: bool = False
+    wal_records_replayed: int = 0
+    wal_tail_dropped: bool = False
+    #: ``"torn"`` (frame cut short by the crash) or ``"checksum"``
+    #: (complete frame, failed CRC) — see :mod:`repro.lsm.wal`.
+    wal_tail_reason: Optional[str] = None
+    wal_tail_dropped_bytes: int = 0
+    # -- fault handling
+    transient_retries: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True iff recovery found nothing abnormal at all.
+
+        A dropped torn WAL tail still counts as clean-adjacent crash
+        recovery, but it *is* an abnormality worth surfacing — ``clean``
+        is strict.
+        """
+        return (not self.quarantined
+                and not self.orphans_quarantined
+                and not self.wal_tail_dropped
+                and not self.manifest_unreadable
+                and self.manifest_corrupt_entries == 0
+                and not self.manifest_fallback
+                and self.transient_retries == 0)
+
+    @property
+    def data_suspect(self) -> bool:
+        """True when recovery had to discard something it could not trust
+        (quarantined tables, corrupt manifest entries, checksum-failed WAL
+        tail) — the signals an operator must look at."""
+        return bool(self.quarantined
+                    or self.manifest_unreadable
+                    or self.manifest_corrupt_entries
+                    or self.wal_tail_reason in ("checksum", "unreadable"))
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (the ``doctor`` output)."""
+        lines = [f"recovery: {'clean' if self.clean else 'degraded'}"]
+        source = self.manifest_source or "(none)"
+        fmt = " [v1 legacy]" if self.manifest_legacy else ""
+        lines.append(f"  manifest: {source}{fmt}")
+        if self.manifest_unreadable:
+            lines.append("  manifest: UNREADABLE — no candidate parsed")
+        if self.manifest_corrupt_entries:
+            lines.append(f"  manifest: {self.manifest_corrupt_entries} "
+                         f"entr{'y' if self.manifest_corrupt_entries == 1 else 'ies'} "
+                         f"failed checksum (skipped)")
+        lines.append(f"  tables: {self.tables_opened} opened, "
+                     f"{len(self.quarantined)} quarantined")
+        for item in self.quarantined:
+            where = f" -> {item.moved_to}" if item.moved_to else ""
+            detail = f" ({item.detail})" if item.detail else ""
+            lines.append(f"    {item.path}: {item.reason}{where}{detail}")
+        if self.orphans_quarantined:
+            lines.append(f"  orphans: {len(self.orphans_quarantined)} "
+                         f"unreferenced table file(s) swept to quarantine/")
+        wal_fmt = " [v1 legacy]" if self.wal_legacy_format else ""
+        lines.append(f"  wal: {self.wal_records_replayed} records "
+                     f"replayed{wal_fmt}")
+        if self.wal_tail_dropped:
+            lines.append(f"  wal: tail dropped ({self.wal_tail_reason}, "
+                         f"{self.wal_tail_dropped_bytes} bytes)")
+        if self.transient_retries:
+            lines.append(f"  io: {self.transient_retries} transient read "
+                         f"errors retried")
+        return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Model-based crash torture: replay every crash point of a workload.
+
+The harness generates a seeded workload of ``put``/``delete``/``flush``/
+``compact`` operations, runs it once fault-free to count the device
+mutations it performs, then replays it once **per mutation index** with a
+:class:`~repro.storage.faults.FaultyStorageDevice` armed to crash (with a
+torn final write) exactly there.  After each crash the device is revived,
+:meth:`~repro.lsm.db.LSMTree.reopen` recovers the store, and the result
+is compared against a plain-dict oracle of the *acknowledged* operations.
+
+Acknowledgement is exact, not probabilistic.  A mutating workload op is
+acknowledged iff the crash did not land on the op's own WAL append — the
+op's first device mutation.  Torn writes keep a strict prefix, so the
+crashing append is never fully durable: an op whose WAL record is durable
+must be recovered (its record replays, or a manifest-listed table holds
+it), and an op whose record is torn must not be.  Both data loss *and*
+resurrection are therefore hard failures, at every crash point:
+
+* acknowledged write missing after recovery — **lost** acknowledged data;
+* unacknowledged write present after recovery — a torn tail (or worse,
+  garbage) was replayed as if it had been committed.
+
+This is the proof obligation behind the WAL/manifest checksum formats and
+the manifest-before-WAL-reset crash ordering in :mod:`repro.lsm.db`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulatedCrashError
+from repro.common.rng import make_rng
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+from repro.lsm.recovery import RecoveryReport
+from repro.storage.clock import SimClock
+from repro.storage.faults import FaultPlan, FaultyStorageDevice
+
+#: Workload op kinds.
+OP_PUT = "put"
+OP_DELETE = "delete"
+OP_FLUSH = "flush"
+OP_COMPACT = "compact"
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One scripted operation (value is derived, so runs are replayable)."""
+
+    kind: str
+    key: bytes = b""
+    value: bytes = b""
+
+
+def default_torture_options() -> LSMOptions:
+    """Small thresholds so a ~200-op workload crosses every code path:
+    flushes, L0 compactions, WAL resets and manifest swaps all fire."""
+    return LSMOptions(memtable_size_bytes=700, sstable_target_bytes=2048,
+                      block_size_bytes=256, l0_compaction_trigger=3,
+                      base_level_size_bytes=4096)
+
+
+def generate_workload(seed: int, num_ops: int,
+                      key_space: int = 48) -> List[WorkloadOp]:
+    """Seeded op script: ~70% puts, ~15% deletes, plus explicit flushes
+    and full compactions so crash points land inside every mechanism.
+
+    Values encode (key, op index), so any two runs of the same script are
+    byte-identical and an oracle mismatch pinpoints the divergent op.
+    """
+    rng = make_rng(seed, "torture-workload")
+    ops: List[WorkloadOp] = []
+    for index in range(num_ops):
+        draw = rng.random()
+        pick = rng.randrange(key_space)
+        key = b"key%04d" % pick
+        if draw < 0.70:
+            ops.append(WorkloadOp(OP_PUT, key,
+                                  b"value-%04d-op%05d" % (pick, index)))
+        elif draw < 0.85:
+            ops.append(WorkloadOp(OP_DELETE, key))
+        elif draw < 0.95:
+            ops.append(WorkloadOp(OP_FLUSH))
+        else:
+            ops.append(WorkloadOp(OP_COMPACT))
+    return ops
+
+
+def _apply(db: LSMTree, op: WorkloadOp) -> None:
+    if op.kind == OP_PUT:
+        db.put(op.key, op.value)
+    elif op.kind == OP_DELETE:
+        db.delete(op.key)
+    elif op.kind == OP_FLUSH:
+        db.flush()
+    elif op.kind == OP_COMPACT:
+        db.compact_all()
+    else:
+        raise ConfigError(f"unknown workload op {op.kind!r}")
+
+
+def _advance_oracle(oracle: Dict[bytes, bytes], op: WorkloadOp) -> None:
+    if op.kind == OP_PUT:
+        oracle[op.key] = op.value
+    elif op.kind == OP_DELETE:
+        oracle.pop(op.key, None)
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one crash-point run (or the fault-free baseline)."""
+
+    crash_at: Optional[int]
+    #: Whether the armed crash actually fired during the workload.
+    crashed: bool = False
+    ops_acknowledged: int = 0
+    #: Device mutations performed by the workload (pre-recovery); on the
+    #: fault-free baseline this is the sweep's crash-point count.
+    mutations: int = 0
+    #: (key, expected, observed) triples where recovery diverged from the
+    #: oracle; ``expected is None`` = resurrection, ``observed is None``
+    #: (with expected set) = lost acknowledged write.
+    mismatches: List[Tuple[bytes, Optional[bytes], Optional[bytes]]] = \
+        field(default_factory=list)
+    report: Optional[RecoveryReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        where = "no crash" if not self.crashed \
+            else f"crash at mutation {self.crash_at}"
+        if self.ok:
+            return f"{where}: ok ({self.ops_acknowledged} ops acknowledged)"
+        lines = [f"{where}: {len(self.mismatches)} mismatch(es)"]
+        for key, expected, observed in self.mismatches[:10]:
+            kind = "LOST" if observed is None else (
+                "RESURRECTED" if expected is None else "WRONG VALUE")
+            lines.append(f"  {kind} {key!r}: expected {expected!r}, "
+                         f"got {observed!r}")
+        return "\n".join(lines)
+
+
+def run_crash_point(seed: int, ops: List[WorkloadOp],
+                    crash_at: Optional[int],
+                    options_factory: Callable[[], LSMOptions]
+                    = default_torture_options) -> CrashPointResult:
+    """Run the workload, crashing at device-mutation index ``crash_at``
+    (``None`` = fault-free), then recover and diff against the oracle.
+
+    The WAL must be enabled: the op-acknowledged rule keys off the op's
+    own WAL append being the op's first device mutation.
+    """
+    options = options_factory()
+    if not options.enable_wal:
+        raise ConfigError("crash torture requires enable_wal=True")
+    clock = SimClock()
+    device = FaultyStorageDevice(
+        clock, rng=make_rng(seed, "torture-device"),
+        plan=FaultPlan(seed=seed, crash_at_op=crash_at))
+    db = LSMTree(options=options, clock=clock, device=device)
+    result = CrashPointResult(crash_at=crash_at)
+    oracle: Dict[bytes, bytes] = {}
+
+    for op in ops:
+        mutations_before = device.fault_stats.mutations
+        try:
+            _apply(db, op)
+        except SimulatedCrashError:
+            result.crashed = True
+            # The op's WAL append is its first device mutation.  A crash
+            # landing exactly there tears the record (strict prefix), so
+            # the op was never durable; a crash anywhere later in the op
+            # (flush, compaction, manifest swap) happened *after* the
+            # record was fully appended, so recovery must restore it.
+            if (op.kind in (OP_PUT, OP_DELETE)
+                    and device.fault_stats.crash_op != mutations_before):
+                _advance_oracle(oracle, op)
+                result.ops_acknowledged += 1
+            break
+        _advance_oracle(oracle, op)
+        if op.kind in (OP_PUT, OP_DELETE):
+            result.ops_acknowledged += 1
+
+    result.mutations = device.fault_stats.mutations
+    device.revive()
+    recovered = LSMTree.reopen(device, options=options_factory())
+    result.report = recovered.recovery_report
+
+    keys = {op.key for op in ops if op.kind in (OP_PUT, OP_DELETE)}
+    for key in sorted(keys):
+        expected = oracle.get(key)
+        observed = recovered.get(key)
+        if expected != observed:
+            result.mismatches.append((key, expected, observed))
+    return result
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of a full crash-point sweep for one seed."""
+
+    seed: int
+    num_ops: int
+    total_mutations: int = 0
+    points_run: int = 0
+    failures: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        head = (f"seed {self.seed}: {self.points_run} crash points over "
+                f"{self.total_mutations} mutations "
+                f"({self.num_ops}-op workload): "
+                f"{'all recovered exactly' if self.ok else 'FAILURES'}")
+        if self.ok:
+            return head
+        return "\n".join([head] + [f.describe() for f in self.failures])
+
+
+def crash_point_sweep(seed: int, num_ops: int = 200,
+                      options_factory: Callable[[], LSMOptions]
+                      = default_torture_options,
+                      stride: int = 1,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> SweepResult:
+    """Exhaustively (or strided) torture every crash point of a workload.
+
+    First runs fault-free to learn the mutation count and check the
+    baseline, then replays with a crash armed at each mutation index
+    ``0, stride, 2*stride, ...``.  ``stride`` exists for quick smoke runs;
+    the acceptance suite uses ``stride=1``.
+    """
+    if stride < 1:
+        raise ConfigError("stride must be >= 1")
+    ops = generate_workload(seed, num_ops)
+    baseline = run_crash_point(seed, ops, None, options_factory)
+    total = baseline.mutations
+
+    result = SweepResult(seed=seed, num_ops=num_ops, total_mutations=total)
+    if not baseline.ok:
+        result.failures.append(baseline)
+    result.points_run += 1
+    for crash_at in range(0, total, stride):
+        point = run_crash_point(seed, ops, crash_at, options_factory)
+        result.points_run += 1
+        if not point.ok:
+            result.failures.append(point)
+        if progress is not None and crash_at % 50 == 0:
+            progress(f"seed {seed}: crash point {crash_at}/{total}")
+    return result

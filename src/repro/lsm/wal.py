@@ -3,20 +3,50 @@
 Every ``put``/``delete`` appends one record before touching the memtable;
 on reopen the log is replayed into a fresh memtable.  The WAL is truncated
 (deleted and restarted) whenever the memtable it protects is flushed to an
-SSTable.
+SSTable — but only *after* the manifest durably lists the flushed table,
+so no crash point leaves acknowledged writes in neither place.
+
+Record format v2 (current): the file opens with the 4-byte magic
+``WAL2``; each record is length-framed and checksummed::
+
+    u32 crc32 | u8 op | u16 key_len | u32 value_len | key | value
+
+The CRC covers everything after itself.  v1 files (no magic; records are
+``u8 op | u16 key_len | u32 value_len | key | value``) are still decoded
+on replay, so a store written before the format change reopens cleanly;
+new records are always v2.
+
+Checksums buy exact crash classification.  A record cut short by the end
+of the file is a **torn tail** — the crash interrupted an append, the
+write was never acknowledged, dropping it is correct.  A record that is
+*complete* but fails its CRC is an **untrustworthy tail**: either a torn
+write whose garbage happens to frame, or media corruption — in both cases
+nothing from that point on can be trusted, so tolerant replay stops there
+(and reports it) instead of replaying garbage.  A record whose CRC is
+*valid* but whose opcode is unknown is a genuine format error — fully
+written, checksummed, nonsense — and raises even in tolerant mode.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator, Optional, Tuple
 
 from repro.common.errors import CorruptionError
 from repro.storage.device import StorageDevice
 
-_HEADER = struct.Struct("<BHI")
+#: v2 file magic.  v1 files start with an opcode byte (1 or 2), never 'W'.
+MAGIC = b"WAL2"
+
+_HEADER_V1 = struct.Struct("<BHI")
+_HEADER_V2 = struct.Struct("<IBHI")  # crc32, op, key_len, value_len
 _OP_PUT = 1
 _OP_DELETE = 2
+
+#: Reasons a tolerant replay stopped before the end of the file.
+TAIL_TORN = "torn"
+TAIL_CHECKSUM = "checksum"
 
 
 class WriteAheadLog:
@@ -26,52 +56,128 @@ class WriteAheadLog:
         self.device = device
         self.path = path
 
+    # ---------------------------------------------------------------- writing
+
+    def _append_record(self, op: int, key: bytes, value: bytes) -> None:
+        body = struct.pack("<BHI", op, len(key), len(value)) + key + value
+        record = struct.pack("<I", zlib.crc32(body)) + body
+        if not self.device.exists(self.path):
+            record = MAGIC + record
+        self.device.append(self.path, record)
+
     def log_put(self, key: bytes, value: bytes) -> None:
         """Record a put."""
-        self.device.append(self.path, _HEADER.pack(_OP_PUT, len(key), len(value))
-                           + key + value)
+        self._append_record(_OP_PUT, key, value)
 
     def log_delete(self, key: bytes) -> None:
         """Record a delete."""
-        self.device.append(self.path, _HEADER.pack(_OP_DELETE, len(key), 0) + key)
+        self._append_record(_OP_DELETE, key, b"")
 
     def reset(self) -> None:
         """Discard the log (the memtable it protected was flushed)."""
         self.device.delete_file(self.path)
 
-    def replay(self, tolerate_torn_tail: bool = False
+    # --------------------------------------------------------------- replay
+
+    def replay(self, tolerate_torn_tail: bool = False, report=None
                ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
         """Yield (key, value-or-None-for-delete) in log order.
 
-        Reads the raw file without latency charges: recovery happens at
-        open time, off the measured query path.
+        Recovery happens at open time, off the measured query path.
 
-        ``tolerate_torn_tail`` implements standard crash semantics: a
-        record cut short by a crash mid-append is silently dropped along
-        with everything after it (those writes were never acknowledged),
-        while corruption *before* the tail still raises.
+        ``tolerate_torn_tail`` implements crash semantics: a record the
+        crash cut short — or one whose checksum fails, which means the
+        tail cannot be trusted — is dropped along with everything after
+        it (those writes were never acknowledged), while structural
+        corruption that a checksum *vouches for* still raises.  When a
+        :class:`~repro.lsm.recovery.RecoveryReport` is passed as
+        ``report``, replayed-record counts and the dropped-tail
+        classification are recorded on it.
         """
         if not self.device.exists(self.path):
             return
         data = self.device.read(self.path, 0, self.device.file_size(self.path))
-        offset = 0
-        while offset < len(data):
-            if offset + _HEADER.size > len(data):
-                if tolerate_torn_tail:
-                    return
-                raise CorruptionError("truncated WAL header")
-            op, key_len, value_len = _HEADER.unpack_from(data, offset)
+        if data[:len(MAGIC)] == MAGIC:
+            yield from self._replay_v2(data, tolerate_torn_tail, report)
+        else:
+            yield from self._replay_v1(data, tolerate_torn_tail, report)
+
+    def _drop_tail(self, report, reason: str, offset: int, total: int,
+                   tolerate: bool, message: str) -> None:
+        if not tolerate:
+            raise CorruptionError(message)
+        if report is not None:
+            report.wal_tail_dropped = True
+            report.wal_tail_reason = reason
+            report.wal_tail_dropped_bytes = total - offset
+
+    def _replay_v2(self, data: bytes, tolerate: bool, report
+                   ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        offset = len(MAGIC)
+        total = len(data)
+        while offset < total:
+            if offset + _HEADER_V2.size > total:
+                self._drop_tail(report, TAIL_TORN, offset, total, tolerate,
+                                "torn WAL header")
+                return
+            crc, op, key_len, value_len = _HEADER_V2.unpack_from(data, offset)
+            end = offset + _HEADER_V2.size + key_len + value_len
+            if end > total:
+                self._drop_tail(report, TAIL_TORN, offset, total, tolerate,
+                                "torn WAL record")
+                return
+            body = data[offset + 4 : end]
+            if zlib.crc32(body) != crc:
+                # Complete frame, bad checksum: a torn write whose garbage
+                # happens to frame, or a media flip.  Either way nothing
+                # from here on is trustworthy.
+                self._drop_tail(report, TAIL_CHECKSUM, offset, total, tolerate,
+                                f"WAL record checksum mismatch at {offset}")
+                return
             if op not in (_OP_PUT, _OP_DELETE):
-                # A garbled opcode is corruption, not a torn tail: the
-                # header bytes were fully written but are nonsense.
+                # The checksum vouches these bytes were fully written as
+                # they are: a garbled opcode here is real corruption (or a
+                # format bug), never a crash artifact — always raise.
+                raise CorruptionError(f"unknown WAL op {op} with valid checksum")
+            key = data[offset + _HEADER_V2.size : offset + _HEADER_V2.size + key_len]
+            if report is not None:
+                report.wal_records_replayed += 1
+            if op == _OP_PUT:
+                yield key, data[offset + _HEADER_V2.size + key_len : end]
+            else:
+                yield key, None
+            offset = end
+
+    def _replay_v1(self, data: bytes, tolerate: bool, report
+                   ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Legacy decode: no per-record checksum, coarser classification.
+
+        Without a CRC, a garbled opcode at the exact tail cannot be told
+        apart from a torn header — v1 conservatively treats any unknown
+        opcode as corruption.  v2's checksums are what make the finer
+        torn-vs-corrupt classification possible.
+        """
+        if report is not None:
+            report.wal_legacy_format = True
+        offset = 0
+        total = len(data)
+        while offset < total:
+            if offset + _HEADER_V1.size > total:
+                self._drop_tail(report, TAIL_TORN, offset, total, tolerate,
+                                "truncated WAL header")
+                return
+            op, key_len, value_len = _HEADER_V1.unpack_from(data, offset)
+            if op not in (_OP_PUT, _OP_DELETE):
                 raise CorruptionError(f"unknown WAL op {op}")
-            offset += _HEADER.size
+            offset += _HEADER_V1.size
             end = offset + key_len + value_len
-            if end > len(data):
-                if tolerate_torn_tail:
-                    return
-                raise CorruptionError("truncated WAL record")
+            if end > total:
+                self._drop_tail(report, TAIL_TORN, offset, total, tolerate,
+                                "truncated WAL record")
+                return
             key = data[offset : offset + key_len]
+            if report is not None:
+                report.wal_records_replayed += 1
             if op == _OP_PUT:
                 yield key, data[offset + key_len : end]
             else:

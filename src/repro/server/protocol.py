@@ -82,6 +82,11 @@ class ErrorCode(enum.IntEnum):
     INTERNAL = 4
     SHUTTING_DOWN = 5
     ORDER_TIMEOUT = 6
+    #: The store hit data it could not trust (checksum/format failure);
+    #: the request failed but the connection — and the store — survive.
+    CORRUPTION = 7
+    #: A retryable I/O failure; the client should simply reissue.
+    TRANSIENT = 8
 
 
 #: Status <-> wire code.  The vocabulary is closed (responses.Status).

@@ -34,8 +34,11 @@ from typing import Optional, Tuple
 
 from repro.common.errors import (
     ConfigError,
+    CorruptionError,
     ProtocolError,
     ReproError,
+    StorageError,
+    TransientIOError,
     VersionMismatchError,
 )
 from repro.server import protocol
@@ -318,6 +321,17 @@ class KVWireServer:
                                      ErrorCode.ORDER_TIMEOUT
                                      if "timed out" in str(exc)
                                      else ErrorCode.PROTOCOL, str(exc))
+        except TransientIOError as exc:
+            # Retryable: tell the client to reissue; nothing is wrong with
+            # the store or the connection.
+            return self._error_frame(frame.request_id, ErrorCode.TRANSIENT,
+                                     str(exc))
+        except (CorruptionError, StorageError) as exc:
+            # Graceful degradation: a request that hit untrustworthy bytes
+            # fails with a typed error, but the connection (and every key
+            # that does not route through the bad data) keeps working.
+            return self._error_frame(frame.request_id, ErrorCode.CORRUPTION,
+                                     str(exc))
         except ReproError as exc:
             return self._error_frame(frame.request_id, ErrorCode.INTERNAL,
                                      str(exc))

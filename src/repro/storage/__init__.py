@@ -3,6 +3,7 @@
 from repro.storage.background import BackgroundLoad, LoadModel
 from repro.storage.clock import SimClock, StopwatchHandle
 from repro.storage.device import DEFAULT_BLOCK_SIZE, DeviceModel, DeviceStats, StorageDevice
+from repro.storage.faults import FaultPlan, FaultStats, FaultyStorageDevice
 from repro.storage.page_cache import CACHE_HIT_COST_US, CacheStats, PageCache
 
 __all__ = [
@@ -12,6 +13,9 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DeviceModel",
     "DeviceStats",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyStorageDevice",
     "LoadModel",
     "PageCache",
     "SimClock",

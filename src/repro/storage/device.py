@@ -98,6 +98,19 @@ class StorageDevice:
         """Remove a file (compaction garbage collection)."""
         self._files.pop(path, None)
 
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` over ``dst`` (POSIX rename semantics).
+
+        The primitive behind write-new-then-swap manifest replacement: the
+        destination either keeps its old content or has the complete new
+        content, never a mix — a crash can prevent the rename but cannot
+        tear it.
+        """
+        self._files[dst] = self._file(src)
+        del self._files[src]
+        self.stats.writes += 1
+        self.clock.charge(self.model.write_latency_us)
+
     def exists(self, path: str) -> bool:
         """Whether ``path`` exists on the device."""
         return path in self._files

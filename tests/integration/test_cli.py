@@ -47,3 +47,31 @@ def test_demo_bloom_resists_point_attack(capsys):
                  "--filter", "bloom", "--candidates", "6000"]) == 0
     out = capsys.readouterr().out
     assert "resisted" in out or "extracted 0" in out
+
+
+def test_doctor_clean_store(capsys):
+    assert main(["doctor", "--ops", "120", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery: clean" in out
+
+
+def test_doctor_reports_injected_faults(capsys):
+    assert main(["doctor", "--ops", "150", "--flip", "manifest",
+                 "--tear-wal", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery: degraded" in out
+    assert "tail dropped" in out
+
+
+def test_doctor_strict_fails_on_faults(capsys):
+    assert main(["doctor", "--ops", "150", "--tear-wal", "4",
+                 "--strict"]) == 1
+    assert "degraded" in capsys.readouterr().out
+
+
+def test_doctor_torture_smoke(capsys):
+    # Strided so the CLI path stays fast; make torture is exhaustive.
+    assert main(["doctor", "--torture", "--ops", "40", "--seeds", "0",
+                 "--stride", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "all recovered exactly" in out

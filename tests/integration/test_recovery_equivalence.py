@@ -1,0 +1,134 @@
+"""Attack-level recovery equivalence (the paper-facing crash guarantee).
+
+A store that crashed mid-load and was recovered must present the same
+attack surface as one that never crashed: after both reach the same
+logical content and are fully compacted, the prefix-siphoning attack
+extracts the *same key set* from both.  This pins down that recovery
+rebuilds tables, filters and levels to an attack-indistinguishable state
+— the repo's experiments may be run against recovered stores without
+changing any result.
+"""
+
+import pytest
+
+from repro.common.errors import SimulatedCrashError
+from repro.common.rng import make_rng
+from repro.core import (
+    AttackConfig,
+    IdealizedOracle,
+    PrefixSiphoningAttack,
+    SurfAttackStrategy,
+)
+from repro.filters import SuRFBuilder
+from repro.filters.surf import SuffixScheme, SurfVariant
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+from repro.storage.clock import SimClock
+from repro.storage.faults import FaultPlan, FaultyStorageDevice
+from repro.system.acl import Acl, pack_value
+from repro.system.service import KVService
+from repro.workloads.datasets import ATTACKER_USER, OWNER_USER
+from repro.workloads.keygen import sha1_dataset
+
+KEY_WIDTH = 4
+NUM_KEYS = 1200
+
+
+def _options():
+    # Tiered style + a final merge_all makes the fully-compacted table
+    # layout a pure function of the logical content, independent of the
+    # load/crash/reload history — the precondition for equivalence.
+    return LSMOptions(
+        memtable_size_bytes=16 * 1024,
+        sstable_target_bytes=64 * 1024,
+        compaction_style="tiered",
+        filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+        seed=9,
+    )
+
+
+def _items():
+    keys = sha1_dataset(NUM_KEYS, KEY_WIDTH, seed=9)
+    acl = Acl(owner=OWNER_USER)
+    # Values derived from the key, not from insertion order: both loads
+    # must produce byte-identical content.
+    return [(key, pack_value(acl, key[::-1] * 4)) for key in keys], keys
+
+
+def _build_clean():
+    items, keys = _items()
+    clock = SimClock()
+    device = FaultyStorageDevice(clock, rng=make_rng(9, "clean-dev"),
+                                 plan=FaultPlan(seed=9))
+    db = LSMTree(options=_options(), clock=clock, device=device)
+    for key, value in items:
+        db.put(key, value)
+    db.compact_all()
+    return db, keys
+
+
+def _build_crashed(crash_at=900):
+    items, keys = _items()
+    clock = SimClock()
+    device = FaultyStorageDevice(clock, rng=make_rng(9, "crash-dev"),
+                                 plan=FaultPlan(seed=9, crash_at_op=crash_at))
+    db = LSMTree(options=_options(), clock=clock, device=device)
+    crashed = False
+    for key, value in items:
+        try:
+            db.put(key, value)
+        except SimulatedCrashError:
+            crashed = True
+            break
+    assert crashed, "crash point never reached; raise crash_at coverage"
+    device.revive()
+    db = LSMTree.reopen(device, options=_options())
+    # Resume the load from scratch: upserts are idempotent, so replaying
+    # the whole item list lands both stores on identical content no
+    # matter where the crash fell.
+    for key, value in items:
+        db.put(key, value)
+    db.compact_all()
+    return db, keys
+
+
+def _attack(db):
+    service = KVService(db, True)
+    oracle = IdealizedOracle(service, ATTACKER_USER)
+    strategy = SurfAttackStrategy(
+        KEY_WIDTH, SuffixScheme(SurfVariant.REAL, 8), seed=17)
+    result = PrefixSiphoningAttack(
+        oracle, strategy,
+        AttackConfig(key_width=KEY_WIDTH, num_candidates=15_000)).run()
+    return {e.key for e in result.extracted}, result.total_queries
+
+
+class TestRecoveryEquivalence:
+    def test_attack_extracts_identical_keys(self):
+        clean_db, keys = _build_clean()
+        crashed_db, _ = _build_crashed()
+
+        # Precondition: identical logical content and table layout.
+        assert clean_db.describe()["levels"] \
+            == crashed_db.describe()["levels"]
+
+        clean_keys, clean_queries = _attack(clean_db)
+        crashed_keys, crashed_queries = _attack(crashed_db)
+
+        assert clean_keys, "attack extracted nothing; scale parameters up"
+        assert clean_keys == crashed_keys
+        # Same filters, same candidates, same oracle decisions: the whole
+        # query trace must match, not just the outcome.
+        assert clean_queries == crashed_queries
+        # And the extraction is real disclosure on both stores.
+        key_set = set(keys)
+        assert clean_keys <= key_set
+
+    def test_filter_decisions_identical_after_recovery(self):
+        clean_db, _ = _build_clean()
+        crashed_db, _ = _build_crashed(crash_at=1150)
+        rng = make_rng(23, "probes")
+        probes = [rng.random_bytes(KEY_WIDTH) for _ in range(4000)]
+        for probe in probes:
+            assert clean_db.filters_pass(probe) \
+                == crashed_db.filters_pass(probe), probe

@@ -1,0 +1,120 @@
+"""Model-based stateful test: LSMTree vs a dict, with crashes.
+
+Hypothesis drives random interleavings of puts, deletes, flushes, full
+compactions, clean reopens and *crash* reopens against a plain-dict
+model.  The invariant is the same as the crash-point sweep's — the store
+equals the model over acknowledged operations — but here the schedule is
+adversarially searched rather than exhaustively enumerated, so the two
+suites cover each other's blind spots (the sweep fixes the workload and
+varies the crash point; this varies the workload).
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.common.errors import SimulatedCrashError
+from repro.common.rng import make_rng
+from repro.lsm.db import LSMTree
+from repro.lsm.torture import default_torture_options
+from repro.storage.clock import SimClock
+from repro.storage.faults import FaultPlan, FaultyStorageDevice
+
+KEYS = st.integers(min_value=0, max_value=23).map(
+    lambda n: b"key%04d" % n)
+VALUES = st.binary(min_size=0, max_size=24)
+
+
+class CrashRecoveryMachine(RuleBasedStateMachine):
+    """LSMTree over a faulty device must track a dict exactly."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**16))
+    def setup(self, seed):
+        self.seed = seed
+        self.clock = SimClock()
+        self.device = FaultyStorageDevice(
+            self.clock, rng=make_rng(seed, "sm-dev"),
+            plan=FaultPlan(seed=seed))
+        self.db = LSMTree(options=default_torture_options(),
+                          clock=self.clock, device=self.device)
+        self.model = {}
+        self.fresh = 0  # unique-key counter for crash-burst writes
+
+    # ------------------------------------------------------------- operations
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def compact(self):
+        self.db.compact_all()
+
+    @rule()
+    def clean_reopen(self):
+        self.db.close()
+        self.db = LSMTree.reopen(self.device,
+                                 options=default_torture_options())
+
+    @rule(after=st.integers(min_value=0, max_value=12))
+    def crash_and_reopen(self, after):
+        """Arm a crash ``after`` mutations out, write until it fires,
+        then recover; the model keeps exactly the acknowledged writes."""
+        self.device.schedule_crash(after_mutations=after)
+        while not self.device.crashed:
+            key = b"crash%05d" % self.fresh
+            value = b"cv%05d" % self.fresh
+            self.fresh += 1
+            before = self.device.fault_stats.mutations
+            try:
+                self.db.put(key, value)
+            except SimulatedCrashError:
+                # Acknowledged iff the crash missed the op's own WAL
+                # append (the op's first device mutation).
+                if self.device.fault_stats.crash_op != before:
+                    self.model[key] = value
+                break
+            self.model[key] = value
+        self.device.revive()
+        self.db = LSMTree.reopen(self.device,
+                                 options=default_torture_options())
+        report = self.db.recovery_report
+        assert not report.data_suspect, report.summary()
+
+    # -------------------------------------------------------------- invariant
+
+    @invariant()
+    def store_matches_model(self):
+        if not hasattr(self, "db"):
+            return  # invariant runs before @initialize on first check
+        for key, expected in self.model.items():
+            assert self.db.get(key) == expected, key
+        # Spot-check absence too (all fixed keys not in the model).
+        for n in range(24):
+            key = b"key%04d" % n
+            if key not in self.model:
+                assert self.db.get(key) is None, key
+
+
+TestCrashRecoveryMachine = CrashRecoveryMachine.TestCase
+TestCrashRecoveryMachine.settings = settings(
+    max_examples=20,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

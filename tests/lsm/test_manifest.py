@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import CorruptionError
-from repro.lsm.manifest import Manifest, ManifestEntry
+from repro.lsm.manifest import HEADER_TAG, Manifest, ManifestEntry
 from repro.storage.clock import SimClock
 from repro.storage.device import StorageDevice
 
@@ -11,6 +11,18 @@ from repro.storage.device import StorageDevice
 @pytest.fixture()
 def manifest():
     return Manifest(StorageDevice(SimClock()))
+
+
+def raw(manifest, path=None):
+    path = path or manifest.path
+    return manifest.device.read(path, 0,
+                                manifest.device.file_size(path))
+
+
+ENTRIES = [
+    ManifestEntry(0, "sst/000001.sst", 100, 4096),
+    ManifestEntry(3, "sst/000002.sst", 2000, 65536),
+]
 
 
 def test_round_trip(manifest):
@@ -41,3 +53,91 @@ def test_malformed_line_detected(manifest):
     manifest.device.create_file(manifest.path, b"0 only-two")
     with pytest.raises(CorruptionError):
         manifest.read()
+
+
+class TestChecksummedFormat:
+    def test_writes_v2_header(self, manifest):
+        manifest.write(ENTRIES)
+        first_line = raw(manifest).decode().splitlines()[0]
+        assert first_line == f"{HEADER_TAG} {len(ENTRIES)}"
+
+    def test_flipped_line_detected_strict(self, manifest):
+        manifest.write(ENTRIES)
+        data = bytearray(raw(manifest))
+        data[-1] ^= 0x02  # corrupt the last entry's size field
+        manifest.device.create_file(manifest.path, bytes(data))
+        with pytest.raises(CorruptionError):
+            manifest.read()
+
+    def test_flipped_line_skipped_and_counted_checked(self, manifest):
+        manifest.write(ENTRIES)
+        data = bytearray(raw(manifest))
+        data[-1] ^= 0x02
+        manifest.device.create_file(manifest.path, bytes(data))
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES[:1]
+        assert load.corrupt_entries == 1
+        assert load.source == manifest.path
+        assert not load.legacy and not load.unreadable
+
+    def test_truncated_entry_list_counted(self, manifest):
+        manifest.write(ENTRIES)
+        text = raw(manifest).decode().splitlines()
+        manifest.device.create_file(
+            manifest.path, "\n".join(text[:-1]).encode())  # drop one entry
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES[:1]
+        assert load.corrupt_entries == 1
+
+    def test_legacy_v1_still_decodes(self, manifest):
+        lines = [f"{e.level} {e.path} {e.num_entries} {e.size_bytes}"
+                 for e in ENTRIES]
+        manifest.device.create_file(manifest.path, "\n".join(lines).encode())
+        assert manifest.read() == ENTRIES
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES
+        assert load.legacy
+
+
+class TestAtomicReplacement:
+    def test_previous_generation_survives_as_prev(self, manifest):
+        manifest.write(ENTRIES[:1])
+        manifest.write(ENTRIES)
+        assert manifest.read() == ENTRIES
+        prev = Manifest(manifest.device, manifest.path + ".prev")
+        assert prev.read() == ENTRIES[:1]
+        assert not manifest.device.exists(manifest.path + ".new")
+
+    def test_fallback_to_staged_new(self, manifest):
+        # Crash state: swap renamed MANIFEST away but died before
+        # promoting MANIFEST.new.
+        manifest.write(ENTRIES)
+        manifest.device.rename(manifest.path, manifest.path + ".stash")
+        staged = Manifest(manifest.device, manifest.path + ".stash")
+        manifest.device.rename(manifest.path + ".stash",
+                               manifest.path + ".new")
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES
+        assert load.source == manifest.path + ".new"
+
+    def test_fallback_to_prev_when_primary_garbled(self, manifest):
+        manifest.write(ENTRIES[:1])
+        manifest.write(ENTRIES)
+        manifest.device.delete_file(manifest.path)
+        manifest.device.create_file(manifest.path, b"\xff\xfe garbage \x00")
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES[:1]
+        assert load.source == manifest.path + ".prev"
+
+    def test_unreadable_when_every_candidate_garbled(self, manifest):
+        manifest.device.create_file(manifest.path, b"\xff\xfe\x00")
+        load = manifest.read_checked()
+        assert load.unreadable
+        assert load.source is None
+        assert load.entries == []
+
+    def test_no_manifest_at_all(self, manifest):
+        load = manifest.read_checked()
+        assert not load.unreadable
+        assert load.source is None
+        assert load.entries == []

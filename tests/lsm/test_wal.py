@@ -1,9 +1,13 @@
 """Write-ahead log tests."""
 
+import struct
+import zlib
+
 import pytest
 
 from repro.common.errors import CorruptionError
-from repro.lsm.wal import WriteAheadLog
+from repro.lsm.recovery import RecoveryReport
+from repro.lsm.wal import MAGIC, TAIL_CHECKSUM, TAIL_TORN, WriteAheadLog
 from repro.storage.clock import SimClock
 from repro.storage.device import StorageDevice
 
@@ -11,6 +15,15 @@ from repro.storage.device import StorageDevice
 @pytest.fixture()
 def wal():
     return WriteAheadLog(StorageDevice(SimClock()), "wal/test.wal")
+
+
+def read_all(wal):
+    return wal.device.read(wal.path, 0, wal.device.file_size(wal.path))
+
+
+def v2_record(op, key, value):
+    body = struct.pack("<BHI", op, len(key), len(value)) + key + value
+    return struct.pack("<I", zlib.crc32(body)) + body
 
 
 class TestReplay:
@@ -55,6 +68,106 @@ class TestCorruption:
         wal.device.create_file(wal.path, struct.pack("<BHI", 9, 1, 0) + b"k")
         with pytest.raises(CorruptionError):
             list(wal.replay())
+
+
+class TestChecksumClassification:
+    """v2's CRC separates torn tails from corrupt-but-complete tails."""
+
+    def test_torn_tail_classified_torn(self, wal):
+        wal.log_put(b"k1", b"v1")
+        wal.log_put(b"k2", b"v2")
+        wal.device.create_file(wal.path, read_all(wal)[:-3])
+        report = RecoveryReport()
+        assert list(wal.replay(tolerate_torn_tail=True,
+                               report=report)) == [(b"k1", b"v1")]
+        assert report.wal_tail_dropped
+        assert report.wal_tail_reason == TAIL_TORN
+        assert report.wal_tail_dropped_bytes > 0
+        assert report.wal_records_replayed == 1
+
+    def test_complete_frame_bad_crc_classified_checksum(self, wal):
+        wal.log_put(b"k1", b"v1")
+        wal.log_put(b"k2", b"v2")
+        data = bytearray(read_all(wal))
+        data[-1] ^= 0x40  # flip a bit inside the last record's value
+        wal.device.create_file(wal.path, bytes(data))
+        report = RecoveryReport()
+        assert list(wal.replay(tolerate_torn_tail=True,
+                               report=report)) == [(b"k1", b"v1")]
+        assert report.wal_tail_reason == TAIL_CHECKSUM
+
+    def test_flip_in_first_record_drops_everything_after(self, wal):
+        # Nothing beyond the first untrustworthy record may be replayed,
+        # even records that would individually checksum fine.
+        wal.log_put(b"k1", b"v1")
+        wal.log_put(b"k2", b"v2")
+        wal.log_put(b"k3", b"v3")
+        data = bytearray(read_all(wal))
+        data[len(MAGIC) + 5] ^= 0x01  # corrupt record 1's body
+        wal.device.create_file(wal.path, bytes(data))
+        report = RecoveryReport()
+        assert list(wal.replay(tolerate_torn_tail=True, report=report)) == []
+        assert report.wal_tail_reason == TAIL_CHECKSUM
+
+    def test_strict_mode_raises_on_both_classes(self, wal):
+        wal.log_put(b"k1", b"v1")
+        torn = read_all(wal)[:-2]
+        flipped = bytearray(read_all(wal))
+        flipped[-1] ^= 0x01
+        for tail in (torn, bytes(flipped)):
+            wal.device.create_file(wal.path, tail)
+            with pytest.raises(CorruptionError):
+                list(wal.replay())
+
+    def test_valid_crc_unknown_opcode_raises_even_tolerant(self, wal):
+        # A fully-written, correctly-checksummed record with a garbled
+        # opcode is real corruption, never a crash artifact: the strict-
+        # mode classification bug this format change fixes.
+        wal.log_put(b"k1", b"v1")
+        record = v2_record(9, b"kX", b"vX")
+        wal.device.append(wal.path, record)
+        with pytest.raises(CorruptionError, match="valid checksum"):
+            list(wal.replay(tolerate_torn_tail=True))
+        with pytest.raises(CorruptionError, match="valid checksum"):
+            list(wal.replay())
+
+    def test_report_counts_replayed_records(self, wal):
+        for i in range(5):
+            wal.log_put(b"k%d" % i, b"v%d" % i)
+        report = RecoveryReport()
+        assert len(list(wal.replay(report=report))) == 5
+        assert report.wal_records_replayed == 5
+        assert not report.wal_tail_dropped
+
+
+class TestLegacyV1:
+    @staticmethod
+    def v1_record(op, key, value):
+        return struct.pack("<BHI", op, len(key), len(value)) + key + value
+
+    def test_v1_file_still_replays(self, wal):
+        wal.device.create_file(
+            wal.path,
+            self.v1_record(1, b"k1", b"v1") + self.v1_record(2, b"k2", b""))
+        report = RecoveryReport()
+        assert list(wal.replay(report=report)) == [
+            (b"k1", b"v1"), (b"k2", None)]
+        assert report.wal_legacy_format
+
+    def test_v1_torn_tail_tolerated(self, wal):
+        data = self.v1_record(1, b"k1", b"v1")
+        wal.device.create_file(wal.path, data + data[:4])
+        report = RecoveryReport()
+        assert list(wal.replay(tolerate_torn_tail=True,
+                               report=report)) == [(b"k1", b"v1")]
+        assert report.wal_tail_reason == TAIL_TORN
+
+    def test_new_files_are_v2(self, wal):
+        wal.log_put(b"k", b"v")
+        assert read_all(wal)[:len(MAGIC)] == MAGIC
+        report = RecoveryReport()
+        list(wal.replay(report=report))
+        assert not report.wal_legacy_format
 
 
 class TestTornTailTolerance:

@@ -1,0 +1,199 @@
+"""Fault-injection device tests: crashes, torn writes, flips, transients."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+from repro.common.rng import make_rng
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+from repro.storage.faults import FaultPlan, FaultyStorageDevice
+
+
+def make_device(plan=None, seed=0):
+    return FaultyStorageDevice(SimClock(), rng=make_rng(seed, "dev"),
+                               plan=plan)
+
+
+class TestFaultlessPlan:
+    def test_behaves_like_plain_device(self):
+        faulty = make_device()
+        plain = StorageDevice(SimClock(), rng=make_rng(0, "dev"))
+        for dev in (faulty, plain):
+            dev.create_file("a", b"hello")
+            dev.append("a", b" world")
+            dev.rename("a", "b")
+        assert faulty.read("b", 0, 11) == plain.read("b", 0, 11)
+        assert faulty.fault_stats.mutations == 3
+        assert not faulty.crashed
+
+
+class TestCrash:
+    def test_crash_fires_at_exact_mutation_index(self):
+        dev = make_device(FaultPlan(crash_at_op=2))
+        dev.create_file("a", b"one")          # mutation 0
+        dev.append("a", b"two")               # mutation 1
+        with pytest.raises(SimulatedCrashError):
+            dev.append("a", b"three")         # mutation 2: crash
+        assert dev.crashed
+        assert dev.fault_stats.crash_op == 2
+        assert dev.fault_stats.crash_path == "a"
+
+    def test_torn_write_keeps_strict_prefix(self):
+        # Over many seeds the surviving prefix must always be a *strict*
+        # prefix: the crashing write may never be fully durable.
+        for seed in range(40):
+            dev = make_device(FaultPlan(seed=seed, crash_at_op=0))
+            with pytest.raises(SimulatedCrashError):
+                dev.create_file("f", b"0123456789")
+            survived = dev.fault_stats.crash_surviving_bytes
+            assert 0 <= survived < 10
+            dev.revive()
+            if survived:
+                assert dev.read("f", 0, survived) == b"0123456789"[:survived]
+            else:
+                assert not dev.exists("f")
+
+    def test_torn_writes_disabled_leaves_no_trace(self):
+        dev = make_device(FaultPlan(crash_at_op=0, torn_writes=False))
+        with pytest.raises(SimulatedCrashError):
+            dev.create_file("f", b"0123456789")
+        assert not dev.exists("f")
+
+    def test_dead_until_revive(self):
+        dev = make_device(FaultPlan(crash_at_op=0))
+        with pytest.raises(SimulatedCrashError):
+            dev.create_file("f", b"x")
+        with pytest.raises(SimulatedCrashError):
+            dev.create_file("g", b"y")
+        with pytest.raises(SimulatedCrashError):
+            dev.read("f", 0, 1)
+        dev.revive()
+        dev.create_file("g", b"y")  # consumed crash point does not re-fire
+        assert dev.read("g", 0, 1) == b"y"
+
+    def test_rename_is_atomic(self):
+        dev = make_device()
+        dev.create_file("a", b"payload")
+        dev.schedule_crash(after_mutations=0)
+        with pytest.raises(SimulatedCrashError):
+            dev.rename("a", "b")
+        assert dev.exists("a") and not dev.exists("b")
+        dev.revive()
+        assert dev.read("a", 0, 7) == b"payload"
+
+    def test_delete_is_atomic(self):
+        dev = make_device()
+        dev.create_file("a", b"payload")
+        dev.schedule_crash(after_mutations=0)
+        with pytest.raises(SimulatedCrashError):
+            dev.delete_file("a")
+        dev.revive()
+        assert dev.exists("a")
+
+    def test_schedule_crash_counts_from_now(self):
+        dev = make_device()
+        dev.create_file("a", b"x")
+        dev.schedule_crash(after_mutations=1)
+        dev.append("a", b"y")  # one more allowed
+        with pytest.raises(SimulatedCrashError):
+            dev.append("a", b"z")
+
+    def test_determinism(self):
+        survived = []
+        for _ in range(2):
+            dev = make_device(FaultPlan(seed=7, crash_at_op=1))
+            dev.create_file("f", b"base")
+            with pytest.raises(SimulatedCrashError):
+                dev.append("f", b"ABCDEFGHIJKLMNOP")
+            survived.append(dev.fault_stats.crash_surviving_bytes)
+        assert survived[0] == survived[1]
+
+    def test_negative_crash_op_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crash_at_op=-1)
+
+
+class TestTransientReads:
+    def test_explicit_index_fails_once_then_succeeds(self):
+        dev = make_device(FaultPlan(transient_read_ops=frozenset({1})))
+        dev.create_file("f", b"data")
+        assert dev.read("f", 0, 4) == b"data"          # read 0
+        with pytest.raises(TransientIOError):
+            dev.read("f", 0, 4)                        # read 1 fails
+        assert dev.read("f", 0, 4) == b"data"          # retry succeeds
+        assert dev.fault_stats.transient_errors == 1
+
+    def test_rate_sampled_errors_are_bounded(self):
+        dev = make_device(FaultPlan(seed=3, transient_read_rate=0.5,
+                                    max_transient_errors=4))
+        dev.create_file("f", b"data")
+        failures = 0
+        for _ in range(200):
+            try:
+                dev.read("f", 0, 4)
+            except TransientIOError:
+                failures += 1
+        assert failures == dev.fault_stats.transient_errors == 4
+
+    def test_read_block_also_gated(self):
+        dev = make_device(FaultPlan(transient_read_ops=frozenset({0})))
+        dev.create_file("f", b"x" * 4096)
+        with pytest.raises(TransientIOError):
+            dev.read_block("f", 0)
+        assert dev.read_block("f", 0) == b"x" * 4096
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(transient_read_rate=1.5)
+
+
+class TestBitFlips:
+    def test_flip_bit_changes_exactly_one_bit(self):
+        dev = make_device()
+        dev.create_file("f", bytes(16))
+        dev.flip_bit("f", 5, bit=3)
+        data = dev.read("f", 0, 16)
+        assert data[5] == 1 << 3
+        assert all(b == 0 for i, b in enumerate(data) if i != 5)
+        assert dev.fault_stats.bits_flipped == 1
+
+    def test_flip_is_involutive(self):
+        dev = make_device()
+        dev.create_file("f", b"payload")
+        dev.flip_bit("f", 2, bit=7)
+        dev.flip_bit("f", 2, bit=7)
+        assert dev.read("f", 0, 7) == b"payload"
+
+    def test_flip_random_bit_is_seeded(self):
+        positions = []
+        for _ in range(2):
+            dev = make_device(FaultPlan(seed=11))
+            dev.create_file("f", bytes(64))
+            positions.append(dev.flip_random_bit("f"))
+        assert positions[0] == positions[1]
+        assert 0 <= positions[0] < 64
+
+    def test_flip_bounds_checked(self):
+        dev = make_device()
+        dev.create_file("f", b"abc")
+        with pytest.raises(ConfigError):
+            dev.flip_bit("f", 3)
+        with pytest.raises(ConfigError):
+            dev.flip_bit("f", 0, bit=8)
+
+    def test_flip_empty_file_rejected(self):
+        dev = make_device()
+        dev.create_file("f", b"")
+        with pytest.raises(ConfigError):
+            dev.flip_random_bit("f")
+
+    def test_flip_bits_many(self):
+        dev = make_device()
+        dev.create_file("f", bytes(8))
+        dev.flip_bits("f", [0, 3, 7])
+        data = dev.read("f", 0, 8)
+        assert [i for i, b in enumerate(data) if b] == [0, 3, 7]
