@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke torture clean
+.PHONY: check test test39 bench serve-smoke ingest-smoke torture clean
 
 check: test test39
 
@@ -28,6 +28,13 @@ test39:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q
+
+# Small-N run of the ingest bench: asserts parallel == serial output
+# digests (the engine's determinism contract) without the full-size
+# timing runs, and without touching the committed results files.
+ingest-smoke:
+	REPRO_INGEST_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_ingest.py -q --benchmark-disable
 
 # One real TCP round trip through the wire-protocol server: build a small
 # store, serve it, ping + get + stats from a client, shut down cleanly.

@@ -29,3 +29,40 @@ def test_louds_backend_query_throughput(benchmark):
     rng = make_rng(2, "probe")
     probes = [rng.random_bytes(5) for _ in range(1000)]
     benchmark(lambda: [filt.may_contain(p) for p in probes])
+
+
+def _random_bits(n=200_000):
+    rng = make_rng(5, "bitvector-bench")
+    return [bool(rng.randint(0, 1)) for _ in range(n)]
+
+
+def test_bitvector_bool_construction(benchmark):
+    """Baseline: one Python bool at a time through ``BitVector(bits)``."""
+    from repro.filters.rank_select import BitVector
+
+    bits = _random_bits()
+    benchmark(lambda: BitVector(bits))
+
+
+def test_bitvector_word_construction(benchmark):
+    """Fast path the LOUDS builder uses: pre-packed 64-bit words via
+    ``BitVector.from_words`` — same rank/select structures, no per-bit
+    Python loop over the input."""
+    from repro.filters.rank_select import BitVector
+
+    bits = _random_bits()
+    words = []
+    for start in range(0, len(bits), 64):
+        word = 0
+        for offset, bit in enumerate(bits[start:start + 64]):
+            if bit:
+                word |= 1 << offset
+        words.append(word)
+    reference = BitVector(bits)
+
+    def build():
+        built = BitVector.from_words(words, len(bits))
+        assert built._words == reference._words
+        return built
+
+    benchmark(build)

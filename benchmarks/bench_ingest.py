@@ -1,0 +1,35 @@
+"""Bench: parallel ingest engine (bulk_load / compact_all / put_many).
+
+Writes ``results/BENCH_ingest.{txt,json}``.  ``REPRO_INGEST_SMOKE=1``
+shrinks the datasets for the CI smoke step: the digest-equality
+assertions (parallel output == serial output) still run, the wall-clock
+speedup bars do not (tiny inputs are all fixed overhead), and the
+committed results file is left untouched.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.bench.experiments import exp_ingest
+
+SMOKE = bool(os.environ.get("REPRO_INGEST_SMOKE"))
+
+
+def test_ingest_report(benchmark):
+    if SMOKE:
+        report = benchmark.pedantic(
+            lambda: exp_ingest.run(num_keys=4_000, compact_keys=3_000,
+                                   batch_keys=2_000),
+            rounds=1, iterations=1)
+    else:
+        report = benchmark.pedantic(exp_ingest.run, rounds=1, iterations=1)
+        emit(report)
+    summary = report.summary
+    assert summary["bulk_digests_all_identical"]
+    assert summary["compact_engine_digests_identical"]
+    if not SMOKE:
+        # The acceptance bars of the ingest overhaul, measured same-run.
+        assert summary["bulk_speedup_4_vs_serial"] >= 2.0
+        assert summary["compact_speedup_4_vs_serial"] >= 1.3
+        assert summary["put_many_speedup_vs_loop"] > 1.0

@@ -100,6 +100,16 @@ class FilterBuilder(abc.ABC):
     def build(self, sorted_keys: Sequence[bytes]) -> Filter:
         """Build a filter over ``sorted_keys`` (sorted, unique)."""
 
+    def build_batch(self, sorted_keys: Sequence[bytes]) -> Filter:
+        """Batch-oriented build; defaults to :meth:`build`.
+
+        Builders may override this with a vectorized implementation, but
+        the result must be **bit-identical** to :meth:`build` over the
+        same keys — the SSTable build engine uses whichever is available
+        and the on-disk filter block must not depend on that choice.
+        """
+        return self.build(sorted_keys)
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

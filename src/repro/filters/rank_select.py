@@ -41,6 +41,37 @@ class BitVector:
                 current = 0
         if length % _WORD_BITS:
             words.append(current)
+        self._init_from_words(words, length)
+
+    @classmethod
+    def from_words(cls, words: Iterable[int], length: int) -> "BitVector":
+        """Build from pre-packed 64-bit words (LSB-first within a word).
+
+        The fast path for builders that can assemble whole words (the
+        LOUDS construction): skips the per-bool accumulation loop of
+        ``__init__`` while producing an identical structure.  ``words``
+        must hold exactly ``ceil(length / 64)`` entries; bits at or above
+        ``length`` in the final word must be clear.
+        """
+        words = list(words)
+        if length < 0:
+            raise ConfigError("bit length must be non-negative")
+        expected = (length + _WORD_BITS - 1) // _WORD_BITS
+        if len(words) != expected:
+            raise ConfigError(
+                f"{len(words)} words cannot hold {length} bits "
+                f"(expected {expected})")
+        tail = length % _WORD_BITS
+        if words:
+            if not all(0 <= word < (1 << _WORD_BITS) for word in words):
+                raise ConfigError("words must be unsigned 64-bit values")
+            if tail and words[-1] >> tail:
+                raise ConfigError("bits beyond the declared length must be clear")
+        self = cls.__new__(cls)
+        self._init_from_words(words, length)
+        return self
+
+    def _init_from_words(self, words: List[int], length: int) -> None:
         self._words = words
         self._length = length
         # Cumulative set-bit count *before* each word.

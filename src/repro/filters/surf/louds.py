@@ -48,6 +48,38 @@ _DENSE_LEAF = 2
 _SPARSE_LEAF = 3
 _ROOT_ONLY = 4
 
+_WORD_MASK = (1 << 64) - 1
+
+
+class _BitWriter:
+    """Accumulates bits into 64-bit words for :meth:`BitVector.from_words`.
+
+    Construction-time counterpart of the bitvector's packed layout: the
+    builder appends bits here and finishes into a :class:`BitVector`
+    without materializing a Python-bool list per bit.
+    """
+
+    __slots__ = ("words", "length", "_current")
+
+    def __init__(self) -> None:
+        self.words: List[int] = []
+        self.length = 0
+        self._current = 0
+
+    def append(self, bit: bool) -> None:
+        if bit:
+            self._current |= 1 << (self.length & 63)
+        self.length += 1
+        if not self.length & 63:
+            self.words.append(self._current)
+            self._current = 0
+
+    def finish(self) -> BitVector:
+        words = self.words
+        if self.length & 63:
+            words = words + [self._current]
+        return BitVector.from_words(words, self.length)
+
 
 def choose_dense_levels(level_nodes: Sequence[int], level_labels: Sequence[int],
                         ratio: int = DEFAULT_DENSE_RATIO) -> int:
@@ -133,15 +165,21 @@ class LoudsBackend:
         num_dense_levels = max(0, min(num_dense_levels, len(levels)))
         self._num_dense = sum(level_nodes[:num_dense_levels])
 
-        d_labels_bits: List[bool] = []
-        d_haschild_bits: List[bool] = []
-        d_isprefix_bits: List[bool] = []
+        # Dense rows are 256 bits per node, word-aligned by construction:
+        # accumulate each row as an int bitmap and emit its four 64-bit
+        # words directly.  The irregular bit streams go through a word
+        # accumulator.  Either way the resulting BitVector is identical
+        # to one built bool-at-a-time; only construction cost changes.
+        d_labels_words: List[int] = []
+        d_haschild_words: List[int] = []
+        num_dense_rows = 0
+        d_isprefix = _BitWriter()
         d_leaf_payloads: List[int] = []
         d_prefix_payloads: List[int] = []
         s_labels = bytearray()
-        s_haschild_bits: List[bool] = []
-        s_louds_bits: List[bool] = []
-        s_isprefix_bits: List[bool] = []
+        s_haschild = _BitWriter()
+        s_louds = _BitWriter()
+        s_isprefix = _BitWriter()
         s_leaf_payloads: List[int] = []
         s_prefix_payloads: List[int] = []
 
@@ -151,47 +189,50 @@ class LoudsBackend:
                 term = node.terminal
                 is_prefix = term is not None and term.kind is TerminalKind.PREFIX_KEY
                 if dense:
-                    d_isprefix_bits.append(is_prefix)
+                    d_isprefix.append(is_prefix)
                     if is_prefix:
                         d_prefix_payloads.append(term.payload)
-                    row_labels = [False] * 256
-                    row_haschild = [False] * 256
+                    row_labels = 0
+                    row_haschild = 0
                     for label in node.sorted_labels:
                         child = node.children[label]
-                        row_labels[label] = True
+                        row_labels |= 1 << label
                         if child.children:
-                            row_haschild[label] = True
+                            row_haschild |= 1 << label
                         else:
                             d_leaf_payloads.append(child.terminal.payload)
-                    d_labels_bits.extend(row_labels)
-                    d_haschild_bits.extend(row_haschild)
+                    for shift in (0, 64, 128, 192):
+                        d_labels_words.append((row_labels >> shift) & _WORD_MASK)
+                        d_haschild_words.append((row_haschild >> shift) & _WORD_MASK)
+                    num_dense_rows += 1
                 else:
-                    s_isprefix_bits.append(is_prefix)
+                    s_isprefix.append(is_prefix)
                     if is_prefix:
                         s_prefix_payloads.append(term.payload)
                     first = True
                     for label in node.sorted_labels:
                         child = node.children[label]
                         s_labels.append(label)
-                        s_louds_bits.append(first)
+                        s_louds.append(first)
                         first = False
                         has_child = bool(child.children)
-                        s_haschild_bits.append(has_child)
+                        s_haschild.append(has_child)
                         if not has_child:
                             s_leaf_payloads.append(child.terminal.payload)
 
-        self._d_labels = BitVector(d_labels_bits)
-        self._d_haschild = BitVector(d_haschild_bits)
-        self._d_isprefix = BitVector(d_isprefix_bits)
+        self._d_labels = BitVector.from_words(d_labels_words, 256 * num_dense_rows)
+        self._d_haschild = BitVector.from_words(d_haschild_words,
+                                                256 * num_dense_rows)
+        self._d_isprefix = d_isprefix.finish()
         self._d_leaf_payloads = d_leaf_payloads
         self._d_prefix_payloads = d_prefix_payloads
         self._s_labels = bytes(s_labels)
-        self._s_haschild = BitVector(s_haschild_bits)
-        self._s_louds = BitVector(s_louds_bits)
-        self._s_isprefix = BitVector(s_isprefix_bits)
+        self._s_haschild = s_haschild.finish()
+        self._s_louds = s_louds.finish()
+        self._s_isprefix = s_isprefix.finish()
         self._s_leaf_payloads = s_leaf_payloads
         self._s_prefix_payloads = s_prefix_payloads
-        self._num_sparse = len(s_isprefix_bits)
+        self._num_sparse = s_isprefix.length
         dense_internal_edges = self._d_haschild.ones
         if self._num_dense == 0:
             # Root itself is sparse node 0; sparse-edge children start at 1.

@@ -27,11 +27,19 @@ per ``get``) for lower write amplification.
 
 from __future__ import annotations
 
-from typing import List
+from bisect import bisect_left
+from typing import List, Optional, Tuple
 
 from repro.common.errors import CompactionError
 from repro.lsm.iterator import merge_entries
 from repro.lsm.options import LSMOptions
+from repro.lsm.parallel_build import (
+    _merge_range_task,
+    _merge_range_task_portable,
+    install_artifact,
+    map_build_tasks,
+    plan_split_points,
+)
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import Version
 from repro.storage.device import StorageDevice
@@ -80,27 +88,36 @@ class Compactor:
         Only *consecutive* runs (in recency order) may merge: merging
         across a gap would reorder shadowing between versions of a key.
         Tombstones drop only when the merge window reaches the oldest run.
+
+        A "run" is a *group* of consecutive, key-disjoint, ascending L0
+        tables (:meth:`_group_runs`): since merges split their output at
+        ``sstable_target_bytes``, one sorted run may span several tables,
+        and sizing the merge window on individual tables would see the
+        split pieces as small similar-size runs and re-merge them forever.
+        Splicing by group position also replaces the old O(n^2)
+        list-membership rebuild of the surviving runs.
         """
         ran = 0
         while True:
-            window = self._find_tier_window()
+            groups = self._group_runs(self.version.levels[0])
+            window = self._find_tier_window(groups)
             if window is None:
                 return ran
             start, end = window
-            runs = self.version.levels[0][start:end]
-            oldest_included = end == len(self.version.levels[0])
-            merged = self._merge_runs(runs, drop_tombstones=oldest_included)
-            remaining = [t for t in self.version.levels[0]
-                         if t not in runs]
-            self.version.levels[0] = remaining[:start] + merged \
-                + remaining[start:]
+            inputs = [t for group in groups[start:end] for t in group]
+            oldest_included = end == len(groups)
+            merged = self._merge_runs(inputs, drop_tombstones=oldest_included)
+            before = [t for group in groups[:start] for t in group]
+            after = [t for group in groups[end:] for t in group]
+            self.version.levels[0] = before + merged + after
             self.version._max_keys[0] = None
-            self._retire(runs)
+            self._retire(inputs)
             self.compactions_run += 1
             ran += 1
 
     def merge_all_runs(self) -> None:
-        """Full compaction for the tiered style: all runs become one."""
+        """Full compaction for the tiered style: all runs become one
+        (split into ``sstable_target_bytes`` tables like leveled merges)."""
         runs = list(self.version.levels[0])
         if len(runs) <= 1:
             return
@@ -110,19 +127,37 @@ class Compactor:
         self._retire(runs)
         self.compactions_run += 1
 
-    def _find_tier_window(self):
-        runs = self.version.levels[0]
-        trigger = self.options.l0_compaction_trigger
+    @staticmethod
+    def _group_runs(tables: List[SSTable]) -> List[List[SSTable]]:
+        """Group L0 tables (newest first) into sorted runs.
+
+        Consecutive tables in strictly ascending, disjoint key order form
+        one run — the shape a split merge output has.  Grouping is purely
+        structural, so it survives reopen with no manifest change; two
+        genuinely distinct but disjoint runs that chain this way are safe
+        to treat as one (disjoint ranges cannot shadow each other).
+        """
+        groups: List[List[SSTable]] = []
+        for table in tables:
+            if groups and groups[-1][-1].max_key < table.min_key:
+                groups[-1].append(table)
+            else:
+                groups.append([table])
+        return groups
+
+    def _find_tier_window(self, groups: List[List[SSTable]]
+                          ) -> Optional[Tuple[int, int]]:
+        trigger = max(self.options.l0_compaction_trigger, 2)
         ratio = self.options.tier_size_ratio
-        if len(runs) < trigger:
+        if len(groups) < trigger:
             return None
+        sizes = [sum(t.size_bytes for t in group) for group in groups]
         # Longest consecutive window (newest first) of similar-size runs.
-        for start in range(len(runs) - trigger + 1):
+        for start in range(len(groups) - trigger + 1):
             end = start + 1
-            smallest = runs[start].size_bytes
-            largest = runs[start].size_bytes
-            while end < len(runs):
-                size = runs[end].size_bytes
+            smallest = largest = sizes[start]
+            while end < len(groups):
+                size = sizes[end]
                 if max(largest, size) > ratio * min(smallest, size):
                     break
                 smallest = min(smallest, size)
@@ -134,18 +169,8 @@ class Compactor:
 
     def _merge_runs(self, runs: List[SSTable],
                     drop_tombstones: bool) -> List[SSTable]:
-        sources = [t.reader.iterate_from(b"", self.cache) for t in runs]
-        outputs: List[SSTable] = []
-        builder = None
-        for key, entry in merge_entries(sources):
-            if drop_tombstones and entry.is_tombstone:
-                continue
-            if builder is None:
-                builder = self._new_builder()
-            builder.add(key, entry)
-        if builder is not None and builder.num_entries:
-            outputs.append(builder.finish())
-        return outputs
+        """Merge whole runs (newest first) into target-size tables."""
+        return self._merge_tables(runs, drop_tombstones)
 
     def level_target_bytes(self, level: int) -> int:
         """Byte budget of ``level`` (levels >= 1)."""
@@ -168,6 +193,19 @@ class Compactor:
         inputs_old = self.version.overlapping(1, low, high)
         self._merge(inputs_new, inputs_old, target_level=1)
 
+    def compact_level_fully(self, level: int) -> None:
+        """Merge every table of ``level`` into ``level + 1``.
+
+        The full-compaction step ``compact_all`` drives top-down; the
+        merge drops tombstones when ``level + 1`` is the bottommost
+        populated level, like every other merge.
+        """
+        newer = list(self.version.levels[level])
+        low = min(t.min_key for t in newer)
+        high = max(t.max_key for t in newer)
+        older = self.version.overlapping(level + 1, low, high)
+        self._merge(newer, older, target_level=level + 1)
+
     def _compact_level(self, level: int) -> None:
         table = self.version.levels[level][0]
         inputs_old = self.version.overlapping(level + 1, table.min_key,
@@ -176,10 +214,36 @@ class Compactor:
 
     def _merge(self, newer: List[SSTable], older: List[SSTable],
                target_level: int) -> None:
-        sources = [t.reader.iterate_from(b"", self.cache) for t in newer]
-        sources += [t.reader.iterate_from(b"", self.cache) for t in older]
+        removed = newer + older
         drop_tombstones = self._is_bottom(target_level)
+        outputs = self._merge_tables(removed, drop_tombstones)
+        self.version.install(target_level, outputs, removed)
+        self._retire(removed)
+        self.compactions_run += 1
+        if not outputs and not drop_tombstones and any(
+            t.num_entries for t in removed
+        ):
+            raise CompactionError("compaction dropped live entries")
 
+    def _merge_tables(self, tables: List[SSTable],
+                      drop_tombstones: bool) -> List[SSTable]:
+        """Merge input tables (newest first) into target-size outputs.
+
+        ``build_threads >= 1`` uses the subcompaction engine, ``0`` the
+        pre-engine streaming reference (kept as the equivalence and
+        benchmark baseline).  Both split outputs at
+        ``sstable_target_bytes``; the engine additionally splits at its
+        key-range boundaries, which depend only on the inputs — so its
+        outputs are bit-identical across worker counts, though the table
+        boundaries may differ from the streaming path's.
+        """
+        if self.options.build_threads <= 0:
+            return self._merge_tables_streaming(tables, drop_tombstones)
+        return self._merge_tables_engine(tables, drop_tombstones)
+
+    def _merge_tables_streaming(self, tables: List[SSTable],
+                                drop_tombstones: bool) -> List[SSTable]:
+        sources = [t.reader.iterate_from(b"", self.cache) for t in tables]
         outputs: List[SSTable] = []
         builder = None
         for key, entry in merge_entries(sources):
@@ -193,15 +257,58 @@ class Compactor:
                 builder = None
         if builder is not None and builder.num_entries:
             outputs.append(builder.finish())
+        return outputs
 
-        removed = newer + older
-        self.version.install(target_level, outputs, removed)
-        self._retire(removed)
-        self.compactions_run += 1
-        if not outputs and not drop_tombstones and any(
-            t.num_entries for t in removed
-        ):
-            raise CompactionError("compaction dropped live entries")
+    def _merge_tables_engine(self, tables: List[SSTable],
+                             drop_tombstones: bool) -> List[SSTable]:
+        """RocksDB-style subcompactions with deterministic effects.
+
+        Three phases keep every effect on this thread in a fixed order,
+        making the merge's observable behaviour independent of the worker
+        count: (1) read *all* input records here, newest table first,
+        block by block through the page cache — the same blocks a serial
+        merge reads, so device charges, RNG draws and cache traffic are
+        one deterministic sequence; (2) partition the key space at input
+        table boundaries (:func:`plan_split_points`) and hand each range's
+        record slices to pure workers that merge, shadow, drop tombstones
+        and build table artifacts; (3) install the artifacts here, in key
+        order — path allocation and file writes happen exactly as a
+        single-threaded engine would.
+        """
+        loaded = [self._load_table_records(t) for t in tables]
+        points = plan_split_points(tables, self.options.sstable_target_bytes)
+        bounds: List[bytes] = [b""] + points
+        tasks = []
+        for index, low in enumerate(bounds):
+            high = bounds[index + 1] if index + 1 < len(bounds) else None
+            runs = []
+            for keys, records in loaded:
+                lo = bisect_left(keys, low) if low else 0
+                hi = bisect_left(keys, high) if high is not None else len(records)
+                if lo < hi:
+                    runs.append(records[lo:hi])
+            if runs:
+                tasks.append((runs, self.options.block_size_bytes,
+                              self.options.sstable_target_bytes,
+                              self.options.filter_builder, drop_tombstones))
+        results = map_build_tasks(tasks, self.options.build_threads,
+                                  _merge_range_task,
+                                  _merge_range_task_portable)
+        outputs: List[SSTable] = []
+        for artifacts in results:
+            for artifact in artifacts:
+                outputs.append(install_artifact(
+                    self.device, self._allocate_path(), artifact))
+        return outputs
+
+    def _load_table_records(self, table: SSTable):
+        """Read one input table's records through the cache (effect phase)."""
+        keys: List[bytes] = []
+        records = []
+        for key, entry in table.reader.iterate_from(b"", self.cache):
+            keys.append(key)
+            records.append((key, entry.value))
+        return keys, records
 
     def _retire(self, tables: List[SSTable]) -> None:
         """Drop the tables' cached pages now; queue the files for deletion.

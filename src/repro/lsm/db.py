@@ -304,6 +304,54 @@ class LSMTree:
         self._memtable.delete(key)
         self._maybe_flush()
 
+    def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Batch put with WAL group commit.
+
+        Equivalent to a ``put`` loop for the stored state (same memtable
+        inserts, same RNG draws, same per-record in-memory charges) but
+        the whole batch is logged with **one** crc-framed device append
+        (:meth:`WriteAheadLog.log_batch`) — the modeled group-commit
+        latency win.  The flush threshold is checked once, after the
+        batch: flushing mid-batch would reset a WAL that already holds
+        the batch's later records, losing acknowledged data on a crash.
+        A torn batch append keeps a durable *prefix* of the batch (see
+        ``log_batch``); nothing is acknowledged until the append returns.
+        """
+        self._check_open()
+        pairs = [(key, value) for key, value in items]
+        if not pairs:
+            return
+        self.stats.puts += len(pairs)
+        cost = (self.options.costs.put_base_cost_us
+                + self.options.costs.memtable_insert_cost_us)
+        for _ in pairs:
+            self.charge_cost(cost)
+        if self.options.enable_wal:
+            self._wal.log_batch(pairs)
+        self._memtable.put_many(pairs)
+        self._maybe_flush()
+
+    def delete_many(self, keys: Iterable[bytes]) -> None:
+        """Batch delete (tombstones) with WAL group commit.
+
+        The delete analogue of :meth:`put_many`: one batched WAL append,
+        per-record in-memory charges, one flush check at the end.
+        """
+        self._check_open()
+        records: List[Tuple[bytes, Optional[bytes]]] = [
+            (key, None) for key in keys]
+        if not records:
+            return
+        self.stats.deletes += len(records)
+        cost = (self.options.costs.put_base_cost_us
+                + self.options.costs.memtable_insert_cost_us)
+        for _ in records:
+            self.charge_cost(cost)
+        if self.options.enable_wal:
+            self._wal.log_batch(records)
+        self._memtable.put_many(records)
+        self._maybe_flush()
+
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_bytes >= self.options.memtable_size_bytes:
             self.flush()
@@ -338,15 +386,28 @@ class LSMTree:
         return table
 
     def compact_all(self) -> None:
-        """Force full compaction (the paper compacts after populating)."""
+        """Force full compaction (the paper compacts after populating).
+
+        Leveled: push L0 down, then cascade every populated level into
+        the one below until a single level holds all data (RocksDB
+        ``CompactRange``-to-bottommost analogue) — the final merges land
+        on the bottom, so every tombstone is garbage collected rather
+        than depending on which size triggers happen to fire.
+        """
         self._check_open()
         self.flush()
         if self.options.compaction_style == "tiered":
             self._compactor.merge_all_runs()
         else:
-            # Push L0 down even below the trigger, then settle size triggers.
+            # Push L0 down even below the trigger.
             while self._version.levels[0]:
                 self._compactor._compact_l0()
+            while True:
+                populated = [lvl for lvl in range(1, self.options.max_levels)
+                             if self._version.levels[lvl]]
+                if len(populated) <= 1:
+                    break
+                self._compactor.compact_level_fully(populated[0])
             self._compactor.maybe_compact()
         self._commit_version()
 
@@ -357,10 +418,51 @@ class LSMTree:
         ready-compacted tables directly into the deepest level that fits
         them, bypassing the memtable and WAL (RocksDB SST-ingestion
         analogue).  The tree must be empty.
+
+        With ``build_threads >= 1`` the input is sharded at
+        ``sstable_target_bytes`` boundaries and the tables (and their
+        filters) are built through the parallel engine
+        (:mod:`repro.lsm.parallel_build`); installation happens here, in
+        key order, so file bytes, numbering and simulated costs are
+        identical for every worker count — including the
+        ``build_threads=0`` streaming reference path below, kept as the
+        equivalence baseline.
         """
         self._check_open()
         if len(self._memtable) or self._version.total_tables():
             raise ConfigError("bulk_load requires an empty tree")
+        if self.options.build_threads <= 0:
+            self._bulk_load_streaming(items)
+            return
+        from repro.lsm.parallel_build import (
+            _build_chunk_task,
+            _build_chunk_task_portable,
+            install_artifact,
+            map_build_tasks,
+            shard_sorted_items,
+        )
+        chunks = shard_sorted_items(items, self.options.block_size_bytes,
+                                    self.options.sstable_target_bytes)
+        if not chunks:
+            return
+        tasks = [(chunk, self.options.block_size_bytes,
+                  self.options.filter_builder) for chunk in chunks]
+        artifacts = map_build_tasks(tasks, self.options.build_threads,
+                                    _build_chunk_task,
+                                    _build_chunk_task_portable)
+        tables: List[SSTable] = []
+        total_bytes = 0
+        for artifact in artifacts:
+            tables.append(install_artifact(self.device, self._allocate_path(),
+                                           artifact))
+            total_bytes += artifact.size_bytes
+        level = self._deepest_fitting_level(total_bytes)
+        self._version.install(level, tables, [])
+        self._commit_version()
+
+    def _bulk_load_streaming(self, items: Iterable[Tuple[bytes, bytes]]
+                             ) -> None:
+        """Pre-engine serial reference: one streaming builder at a time."""
         tables: List[SSTable] = []
         builder = None
         last_key = None

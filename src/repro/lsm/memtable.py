@@ -75,6 +75,18 @@ class MemTable:
         """Record a tombstone for ``key``."""
         self._upsert(key, TOMBSTONE)
 
+    def put_many(self, pairs) -> None:
+        """Batch upsert of ``(key, value_or_None)`` pairs, in order.
+
+        ``None`` values record tombstones.  Equivalent to the per-record
+        calls (same skip-list heights drawn in the same order); the batch
+        entry point exists so group-committed writes land through one
+        call, mirroring ``LSMTree.put_many``.
+        """
+        upsert = self._upsert
+        for key, value in pairs:
+            upsert(key, TOMBSTONE if value is None else Entry(bytes(value)))
+
     def _upsert(self, key: bytes, entry: Entry) -> None:
         if not key:
             raise ConfigError("empty keys are not supported")

@@ -73,6 +73,15 @@ class LSMOptions:
     #: ``None`` = auto-size from the page capacity, ``0`` = disabled.
     decoded_cache_entries: Optional[int] = None
     enable_wal: bool = True
+    #: Worker count for the parallel build engine (bulk_load sharding and
+    #: compaction subcompactions).  ``1`` runs the engine inline, ``>1``
+    #: fans table/filter builds out to a process pool (clamped to the
+    #: CPUs the process may run on — extra workers on a saturated machine
+    #: only add transport overhead), and ``0`` selects the pre-engine
+    #: serial reference paths (kept as the equivalence and benchmark
+    #: baseline).  Output bytes, file numbering and simulated costs are
+    #: identical for every value >= 1 (see DESIGN.md section 9).
+    build_threads: int = 1
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
 
@@ -96,3 +105,5 @@ class LSMOptions:
             raise ConfigError("max_levels must be in [1, 16]")
         if self.decoded_cache_entries is not None and self.decoded_cache_entries < 0:
             raise ConfigError("decoded cache entries must be non-negative")
+        if self.build_threads < 0:
+            raise ConfigError("build_threads must be non-negative")

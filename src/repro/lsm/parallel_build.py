@@ -1,0 +1,429 @@
+"""Parallel SSTable/filter build engine (bulk load + subcompactions).
+
+The engine splits table building into two halves with very different
+rules, which is what makes ``build_threads`` invisible in every output:
+
+* **Pure compute** — encoding blocks, building the filter, assembling the
+  final file image — happens in :func:`build_table_artifact`, which
+  touches *no* device, clock, cache or RNG.  It is a pure function from a
+  record list to a :class:`TableArtifact` (the exact bytes the streaming
+  :class:`~repro.lsm.sstable.SSTableBuilder` would have written, proven
+  equivalent by test), so it can run on any worker, in any order, on any
+  number of processes.
+* **Effects** — path allocation, ``device.create_file``, simulated-cost
+  charges, cache traffic — happen only on the caller's thread, in
+  canonical key order, via :func:`install_artifact`.  Costs are therefore
+  charged once, deterministically, regardless of worker count, and file
+  numbering matches the serial order exactly.
+
+Workers ship artifacts back by value.  A filter that cannot be pickled
+(the LOUDS backend refuses, by design) travels as its *serialized filter
+block* instead — :mod:`repro.filters.serialize` guarantees a deserialized
+filter answers every query identically — so the parent rehydrates it from
+the same bytes that land in the file.
+
+The pool uses the ``fork`` start method and is cached per worker count;
+platforms without ``fork`` silently fall back to inline execution (the
+engine's outputs do not depend on where the compute ran).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field, replace
+from itertools import accumulate
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.filters.base import Filter, FilterBuilder
+from repro.lsm.block import BlockBuilder
+from repro.lsm.memtable import Entry
+from repro.lsm.sstable import (
+    _BLOCK_REF,
+    _FOOTER,
+    _MAGIC,
+    BlockHandle,
+    SSTable,
+    SSTableReader,
+)
+from repro.storage.device import StorageDevice
+
+_RECORD_HEADER = struct.Struct("<HBI")
+_U32 = struct.Struct("<I")
+_FLAG_TOMBSTONE = 0x01
+
+#: A record as the engine moves it between processes: ``(key, value)``
+#: with ``None`` marking a tombstone.  Plain tuples keep pickling cheap.
+Record = Tuple[bytes, Optional[bytes]]
+
+
+@dataclass
+class TableArtifact:
+    """The complete, effect-free result of building one SSTable.
+
+    ``file_bytes`` is the exact file image; everything else is the
+    metadata a live :class:`~repro.lsm.sstable.SSTable` handle needs, so
+    installation never re-reads the file.  ``filter`` is the live filter
+    when it survived transport (or was built inline); ``filter_data`` is
+    its serialized block, always present when the table has a filter.
+    """
+
+    file_bytes: bytes
+    index_entries: List[Tuple[bytes, BlockHandle]]
+    min_key: bytes
+    max_key: bytes
+    num_entries: int
+    size_bytes: int
+    filter_data: bytes = b""
+    filter: Optional[Filter] = field(default=None, repr=False)
+
+
+def _encode_records(records: List[Record]) -> List[bytes]:
+    pack = _RECORD_HEADER.pack
+    return [
+        pack(len(key), _FLAG_TOMBSTONE, 0) + key if value is None
+        else pack(len(key), 0, len(value)) + key + value
+        for key, value in records
+    ]
+
+
+def _encode_block(encoded: List[bytes], lens: List[int]) -> bytes:
+    count = len(encoded)
+    offsets = list(accumulate(lens, initial=0))
+    offsets[-1] = count  # reuse the running total slot for the count field
+    body = b"".join(encoded) + struct.pack("<%dI" % (count + 1), *offsets)
+    return body + _U32.pack(zlib.crc32(body))
+
+
+def build_table_artifact(records: List[Record], block_size: int,
+                         filter_builder: Optional[FilterBuilder]
+                         ) -> TableArtifact:
+    """Pure batch equivalent of streaming records through ``SSTableBuilder``.
+
+    Produces byte-for-byte the file the streaming builder writes for the
+    same records (same block split points, same props/filter/index/footer
+    layout); ``tests/lsm/test_sstable.py`` asserts the equivalence over
+    randomized inputs.  Raises the same :class:`ConfigError` family for
+    unsorted/duplicate/empty/oversized keys.
+    """
+    if not records:
+        raise ConfigError("cannot finish an empty SSTable")
+    keys = [key for key, _ in records]
+    if not keys[0]:
+        raise ConfigError("empty keys are not supported")
+    if any(a >= b for a, b in zip(keys, keys[1:])):
+        raise ConfigError("SSTable records must be added in ascending key order")
+    if max(map(len, keys)) > 0xFFFF:
+        raise ConfigError("key exceeds the u16 length field")
+
+    encoded = _encode_records(records)
+    lens = [len(data) for data in encoded]
+
+    chunks: List[bytes] = []
+    index_entries: List[Tuple[bytes, BlockHandle]] = []
+    size = 0
+    start = 0
+    block_bytes = 0
+    for i, record_len in enumerate(lens):
+        block_bytes += record_len
+        if block_bytes >= block_size:
+            data = _encode_block(encoded[start:i + 1], lens[start:i + 1])
+            index_entries.append((keys[i], BlockHandle(size, len(data))))
+            chunks.append(data)
+            size += len(data)
+            start = i + 1
+            block_bytes = 0
+    if start < len(encoded):
+        data = _encode_block(encoded[start:], lens[start:])
+        index_entries.append((keys[-1], BlockHandle(size, len(data))))
+        chunks.append(data)
+        size += len(data)
+
+    props = BlockBuilder(1 << 30)
+    props.add(b"max_key", Entry(keys[-1]))
+    props.add(b"min_key", Entry(keys[0]))
+    props.add(b"num_entries", Entry(len(keys).to_bytes(8, "big")))
+    props_data = props.finish()
+    props_offset = size
+    chunks.append(props_data)
+    size += len(props_data)
+
+    filt: Optional[Filter] = None
+    filter_data = b""
+    filter_offset = size
+    if filter_builder is not None:
+        build = getattr(filter_builder, "build_batch", filter_builder.build)
+        filt = build(keys)
+        from repro.filters.serialize import serialize_filter
+        filter_data = serialize_filter(filt)
+        chunks.append(filter_data)
+        size += len(filter_data)
+
+    index = BlockBuilder(1 << 30)
+    for last_key, handle in index_entries:
+        index.add(last_key, Entry(_BLOCK_REF.pack(handle.offset, handle.length)))
+    index_data = index.finish()
+    index_offset = size
+    chunks.append(index_data)
+    size += len(index_data)
+
+    chunks.append(_FOOTER.pack(props_offset, len(props_data),
+                               index_offset, len(index_data),
+                               filter_offset, len(filter_data), _MAGIC))
+    size += _FOOTER.size
+
+    return TableArtifact(
+        file_bytes=b"".join(chunks),
+        index_entries=index_entries,
+        min_key=keys[0],
+        max_key=keys[-1],
+        num_entries=len(keys),
+        size_bytes=size,
+        filter_data=filter_data,
+        filter=filt,
+    )
+
+
+def install_artifact(device: StorageDevice, path: str,
+                     artifact: TableArtifact) -> SSTable:
+    """Write one artifact to the device and return its live handle.
+
+    The only effectful step of a build: runs on the caller's thread, in
+    canonical order, so device charges and stats are identical for every
+    worker count.  Rehydrates the filter from its serialized block when
+    the live object did not survive transport.
+    """
+    device.create_file(path, artifact.file_bytes)
+    reader = SSTableReader(device, path,
+                           index_entries=list(artifact.index_entries),
+                           num_entries=artifact.num_entries)
+    filt = artifact.filter
+    if filt is None and artifact.filter_data:
+        from repro.filters.serialize import deserialize_filter
+        filt = deserialize_filter(artifact.filter_data)
+    return SSTable(path=path, reader=reader, filter=filt,
+                   min_key=artifact.min_key, max_key=artifact.max_key,
+                   num_entries=artifact.num_entries,
+                   size_bytes=artifact.size_bytes)
+
+
+# ------------------------------------------------------------- sharding
+
+def record_encoded_len(key: bytes, value: Optional[bytes]) -> int:
+    """On-disk record length (header + key + value; tombstones carry none)."""
+    return _RECORD_HEADER.size + len(key) + (0 if value is None else len(value))
+
+
+def split_records(records: List[Record], block_size: int,
+                  target_bytes: int) -> List[List[Record]]:
+    """Split a sorted record run into per-table chunks.
+
+    Replicates the streaming builders' split rule exactly: a table closes
+    when its *flushed-block* bytes (payload + per-record offset trailer +
+    count + crc per block) reach ``target_bytes``, evaluated at block
+    boundaries — the only points where ``SSTableBuilder.estimated_bytes``
+    grows.  Chunk boundaries are therefore identical to the tables a
+    serial streaming build would emit for the same stream.
+    """
+    out: List[List[Record]] = []
+    current: List[Record] = []
+    block_bytes = 0
+    block_records = 0
+    emitted = 0
+    header = _RECORD_HEADER.size
+    for record in records:
+        key, value = record
+        current.append(record)
+        block_bytes += header + len(key) + (0 if value is None else len(value))
+        block_records += 1
+        if block_bytes >= block_size:
+            # Finished block: payload + u32 offsets + u32 count + u32 crc.
+            emitted += block_bytes + 4 * block_records + 8
+            block_bytes = 0
+            block_records = 0
+            if emitted >= target_bytes:
+                out.append(current)
+                current = []
+                emitted = 0
+    if current:
+        out.append(current)
+    return out
+
+
+def shard_sorted_items(items: Iterable[Tuple[bytes, bytes]], block_size: int,
+                       target_bytes: int) -> List[List[Record]]:
+    """Validate and shard a pre-sorted bulk-load stream into table chunks."""
+    records: List[Record] = []
+    last_key = None
+    for key, value in items:
+        if last_key is not None and key <= last_key:
+            raise ConfigError("bulk_load input must be sorted and unique")
+        last_key = key
+        records.append((key, value))
+    return split_records(records, block_size, target_bytes)
+
+
+def plan_split_points(tables, target_bytes: int) -> List[bytes]:
+    """Key-space split points for subcompactions.
+
+    RocksDB-style: candidate boundaries are the input tables' min keys
+    (cheap, already in memory, and guaranteed to fall between records),
+    coalesced until each range is attributed roughly ``target_bytes`` of
+    input.  Depends only on the input tables, never on the worker count,
+    so the partition — and with it every downstream byte — is identical
+    for any ``build_threads >= 1``.
+    """
+    if len(tables) < 2:
+        return []
+    starts = sorted({t.min_key for t in tables})[1:]
+    sizes = sorted((t.min_key, t.size_bytes) for t in tables)
+    points: List[bytes] = []
+    attributed = 0
+    i = 0
+    for point in starts:
+        while i < len(sizes) and sizes[i][0] < point:
+            attributed += sizes[i][1]
+            i += 1
+        if attributed >= target_bytes:
+            points.append(point)
+            attributed = 0
+    return points
+
+
+def merge_sorted_runs(runs: List[List[Record]],
+                      drop_tombstones: bool) -> List[Record]:
+    """Merge sorted runs, newest (lowest index) first; newest value wins.
+
+    Pure compute — safe on workers.  Shadowing is resolved before the
+    tombstone drop, exactly like the streaming
+    :func:`~repro.lsm.iterator.merge_entries` path: a tombstone shadows
+    older values even when it is itself dropped from the output.
+    """
+    if len(runs) == 1:
+        if drop_tombstones:
+            return [record for record in runs[0] if record[1] is not None]
+        return list(runs[0])
+    tagged = []
+    extend = tagged.extend
+    for priority, records in enumerate(runs):
+        extend((key, priority, value) for key, value in records)
+    # Timsort gallops over the pre-sorted runs; ties on key resolve by
+    # priority (recency), and the value is never compared.
+    tagged.sort()
+    out: List[Record] = []
+    append = out.append
+    previous = None
+    for key, priority, value in tagged:
+        if key == previous:
+            continue
+        previous = key
+        if drop_tombstones and value is None:
+            continue
+        append((key, value))
+    return out
+
+
+# ------------------------------------------------------------ worker pool
+
+def _portable(artifact: TableArtifact) -> TableArtifact:
+    """Strip a filter that cannot cross the process boundary.
+
+    The LOUDS backend refuses pickling by design; its serialized filter
+    block (already part of the artifact) round-trips identically, so the
+    parent rehydrates from that instead.
+    """
+    if artifact.filter is None:
+        return artifact
+    try:
+        pickle.dumps(artifact.filter)
+    except Exception:
+        return replace(artifact, filter=None)
+    return artifact
+
+
+def _build_chunk_task(task) -> TableArtifact:
+    records, block_size, filter_builder = task
+    return build_table_artifact(records, block_size, filter_builder)
+
+
+def _build_chunk_task_portable(task) -> TableArtifact:
+    return _portable(_build_chunk_task(task))
+
+
+def _merge_range_task(task) -> List[TableArtifact]:
+    runs, block_size, target_bytes, filter_builder, drop_tombstones = task
+    merged = merge_sorted_runs(runs, drop_tombstones)
+    return [build_table_artifact(chunk, block_size, filter_builder)
+            for chunk in split_records(merged, block_size, target_bytes)]
+
+
+def _merge_range_task_portable(task) -> List[TableArtifact]:
+    return [_portable(artifact) for artifact in _merge_range_task(task)]
+
+
+_POOLS = {}
+
+#: Test hook: force the process pool whenever ``workers > 1``, even on a
+#: single-core machine where the CPU clamp below would run inline.  The
+#: equivalence and torture suites set this to exercise the cross-process
+#: transport path (pickling, portable filters) regardless of the host.
+FORCE_POOL = False
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _pool(workers: int):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        pool = context.Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down the cached worker pools (idempotent; re-created on use)."""
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)
+
+
+def map_build_tasks(tasks: List, workers: int, inline_fn, pool_fn) -> List:
+    """Run build tasks, inline or on the fork pool; results stay in order.
+
+    ``inline_fn`` and ``pool_fn`` compute the same value; the pool variant
+    additionally makes its result portable across the process boundary.
+    The fan-out is clamped to the CPUs the process may run on: extra
+    worker processes on a saturated machine only add fork/pickle overhead
+    (RocksDB clamps background jobs to cores for the same reason), and a
+    clamp to one core runs inline.  Falls back to inline execution where
+    ``fork`` is unavailable — the outputs are identical in every case,
+    only wall-clock differs.
+    """
+    effective = min(workers, len(tasks))
+    if not FORCE_POOL:
+        effective = min(effective, _available_cpus())
+    if effective <= 1:
+        return [inline_fn(task) for task in tasks]
+    try:
+        pool = _pool(effective)
+    except (ImportError, OSError, ValueError):
+        return [inline_fn(task) for task in tasks]
+    return pool.map(pool_fn, tasks)

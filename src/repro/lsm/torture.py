@@ -34,12 +34,14 @@ from repro.common.rng import make_rng
 from repro.lsm.db import LSMTree
 from repro.lsm.options import LSMOptions
 from repro.lsm.recovery import RecoveryReport
+from repro.lsm.wal import _HEADER_V2, MAGIC as _WAL_MAGIC
 from repro.storage.clock import SimClock
 from repro.storage.faults import FaultPlan, FaultyStorageDevice
 
 #: Workload op kinds.
 OP_PUT = "put"
 OP_DELETE = "delete"
+OP_PUT_MANY = "put_many"
 OP_FLUSH = "flush"
 OP_COMPACT = "compact"
 
@@ -51,6 +53,8 @@ class WorkloadOp:
     kind: str
     key: bytes = b""
     value: bytes = b""
+    #: ``OP_PUT_MANY`` payload: (key, value) records, group-committed.
+    items: Tuple[Tuple[bytes, bytes], ...] = ()
 
 
 def default_torture_options() -> LSMOptions:
@@ -63,8 +67,9 @@ def default_torture_options() -> LSMOptions:
 
 def generate_workload(seed: int, num_ops: int,
                       key_space: int = 48) -> List[WorkloadOp]:
-    """Seeded op script: ~70% puts, ~15% deletes, plus explicit flushes
-    and full compactions so crash points land inside every mechanism.
+    """Seeded op script: ~60% puts, ~12% group-committed batches, ~13%
+    deletes, plus explicit flushes and full compactions so crash points
+    land inside every mechanism (including mid-batch WAL appends).
 
     Values encode (key, op index), so any two runs of the same script are
     byte-identical and an oracle mismatch pinpoints the divergent op.
@@ -75,9 +80,18 @@ def generate_workload(seed: int, num_ops: int,
         draw = rng.random()
         pick = rng.randrange(key_space)
         key = b"key%04d" % pick
-        if draw < 0.70:
+        if draw < 0.60:
             ops.append(WorkloadOp(OP_PUT, key,
                                   b"value-%04d-op%05d" % (pick, index)))
+        elif draw < 0.72:
+            count = rng.randint(2, 5)
+            items = []
+            for item_index in range(count):
+                item_pick = rng.randrange(key_space)
+                items.append((b"key%04d" % item_pick,
+                              b"value-%04d-op%05d-i%d"
+                              % (item_pick, index, item_index)))
+            ops.append(WorkloadOp(OP_PUT_MANY, items=tuple(items)))
         elif draw < 0.85:
             ops.append(WorkloadOp(OP_DELETE, key))
         elif draw < 0.95:
@@ -87,11 +101,17 @@ def generate_workload(seed: int, num_ops: int,
     return ops
 
 
+#: Op kinds whose acknowledgement the oracle tracks.
+_MUTATING_OPS = (OP_PUT, OP_DELETE, OP_PUT_MANY)
+
+
 def _apply(db: LSMTree, op: WorkloadOp) -> None:
     if op.kind == OP_PUT:
         db.put(op.key, op.value)
     elif op.kind == OP_DELETE:
         db.delete(op.key)
+    elif op.kind == OP_PUT_MANY:
+        db.put_many(op.items)
     elif op.kind == OP_FLUSH:
         db.flush()
     elif op.kind == OP_COMPACT:
@@ -105,6 +125,33 @@ def _advance_oracle(oracle: Dict[bytes, bytes], op: WorkloadOp) -> None:
         oracle[op.key] = op.value
     elif op.kind == OP_DELETE:
         oracle.pop(op.key, None)
+    elif op.kind == OP_PUT_MANY:
+        for key, value in op.items:
+            oracle[key] = value
+
+
+def _durable_batch_prefix(op: WorkloadOp, surviving_bytes: int,
+                          wal_existed: bool) -> List[Tuple[bytes, bytes]]:
+    """Records of a crashed group commit that survived the torn append.
+
+    A batch is one WAL append of concatenated per-record crc frames, so a
+    torn write keeps a strict prefix of the blob: every *complete* frame
+    within the surviving bytes replays; the torn frame and everything
+    after drop.  When the append created the file, the 4-byte magic comes
+    out of the budget first (a magic torn mid-way frames no records —
+    replay classifies the file as a torn tail either way).
+    """
+    budget = surviving_bytes
+    if not wal_existed:
+        budget -= len(_WAL_MAGIC)
+    durable: List[Tuple[bytes, bytes]] = []
+    for key, value in op.items:
+        frame_len = _HEADER_V2.size + len(key) + len(value)
+        if budget < frame_len:
+            break
+        budget -= frame_len
+        durable.append((key, value))
+    return durable
 
 
 @dataclass
@@ -166,6 +213,7 @@ def run_crash_point(seed: int, ops: List[WorkloadOp],
 
     for op in ops:
         mutations_before = device.fault_stats.mutations
+        wal_existed = device.exists(db._wal.path)
         try:
             _apply(db, op)
         except SimulatedCrashError:
@@ -175,13 +223,21 @@ def run_crash_point(seed: int, ops: List[WorkloadOp],
             # the op was never durable; a crash anywhere later in the op
             # (flush, compaction, manifest swap) happened *after* the
             # record was fully appended, so recovery must restore it.
-            if (op.kind in (OP_PUT, OP_DELETE)
-                    and device.fault_stats.crash_op != mutations_before):
+            # A group commit crashing on its own append is the one case
+            # with partial durability: the complete frames of the torn
+            # blob's prefix must replay, the rest must not.
+            if op.kind in _MUTATING_OPS \
+                    and device.fault_stats.crash_op != mutations_before:
                 _advance_oracle(oracle, op)
                 result.ops_acknowledged += 1
+            elif op.kind == OP_PUT_MANY:
+                for key, value in _durable_batch_prefix(
+                        op, device.fault_stats.crash_surviving_bytes or 0,
+                        wal_existed):
+                    oracle[key] = value
             break
         _advance_oracle(oracle, op)
-        if op.kind in (OP_PUT, OP_DELETE):
+        if op.kind in _MUTATING_OPS:
             result.ops_acknowledged += 1
 
     result.mutations = device.fault_stats.mutations
@@ -190,6 +246,8 @@ def run_crash_point(seed: int, ops: List[WorkloadOp],
     result.report = recovered.recovery_report
 
     keys = {op.key for op in ops if op.kind in (OP_PUT, OP_DELETE)}
+    keys.update(key for op in ops if op.kind == OP_PUT_MANY
+                for key, _value in op.items)
     for key in sorted(keys):
         expected = oracle.get(key)
         observed = recovered.get(key)

@@ -192,6 +192,52 @@ class RemoteKV:
             order=order)
         return protocol.decode_get_many_response(frame.payload)
 
+    # ----------------------------------------------------------------- writes
+
+    def put(self, user: int, key: bytes, value: bytes,
+            public_read: bool = False) -> Response:
+        """Store an object owned by ``user`` over the wire."""
+        response, _sim_us = self.put_timed(user, key, value,
+                                           public_read=public_read)
+        return response
+
+    def put_timed(self, user: int, key: bytes, value: bytes,
+                  public_read: bool = False) -> Tuple[Response, float]:
+        """``put`` plus the server-reported simulated response time."""
+        flags = protocol.PUT_FLAG_PUBLIC_READ if public_read else 0
+        frame = self.connection.request(
+            Opcode.PUT, protocol.encode_put_request(user, key, value, flags))
+        response, sim_us, _ = protocol.decode_result(frame.payload)
+        return response, sim_us
+
+    def put_many(self, user: int, items: Sequence[Tuple[bytes, bytes]],
+                 public_read: bool = False) -> int:
+        """Batch store (one PUT_MANY frame); returns records stored."""
+        count, _sim_us = self.put_many_timed(user, items,
+                                             public_read=public_read)
+        return count
+
+    def put_many_timed(self, user: int, items: Sequence[Tuple[bytes, bytes]],
+                       public_read: bool = False) -> Tuple[int, float]:
+        """Batch store; returns (records stored, batch simulated time)."""
+        flags = protocol.PUT_FLAG_PUBLIC_READ if public_read else 0
+        frame = self.connection.request(
+            Opcode.PUT_MANY,
+            protocol.encode_put_many_request(user, items, flags))
+        return protocol.decode_put_many_response(frame.payload)
+
+    def delete(self, user: int, key: bytes) -> Response:
+        """Delete an object over the wire (owner-only, ACL-checked)."""
+        response, _sim_us = self.delete_timed(user, key)
+        return response
+
+    def delete_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """``delete`` plus the server-reported simulated response time."""
+        frame = self.connection.request(
+            Opcode.DELETE, protocol.encode_delete_request(user, key))
+        response, sim_us, _ = protocol.decode_result(frame.payload)
+        return response, sim_us
+
     # ------------------------------------------------------- simulation knobs
 
     def wait(self, duration_us: float) -> float:

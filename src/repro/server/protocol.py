@@ -54,8 +54,15 @@ _U64 = struct.Struct("!Q")
 _F64 = struct.Struct("!d")
 _ORDER = struct.Struct("!QQ")
 _GET_PREFIX = struct.Struct("!QH")
+_PUT_PREFIX = struct.Struct("!QBH")
+_PUT_MANY_PREFIX = struct.Struct("!QBI")
+_PUT_MANY_RESPONSE = struct.Struct("!Id")
 _RESULT_PREFIX = struct.Struct("!BdB")
 _STATS = struct.Struct("!dQQQQdQd")
+
+#: PUT/PUT_MANY request flag: store the object world-readable.
+PUT_FLAG_PUBLIC_READ = 0x01
+_KNOWN_PUT_FLAGS = PUT_FLAG_PUBLIC_READ
 
 
 class Opcode(enum.IntEnum):
@@ -69,6 +76,9 @@ class Opcode(enum.IntEnum):
     #: attacker "waiting for page-cache eviction").  Not part of a real
     #: deployment's API — a real attacker just sleeps.
     WAIT = 5
+    PUT = 6
+    PUT_MANY = 7
+    DELETE = 8
     #: Response-only: request failed server-side.
     ERROR = 0x7F
 
@@ -254,6 +264,117 @@ def decode_get_many_request(payload: bytes) -> Tuple[int, List[bytes]]:
             f"GET_MANY request has {len(payload) - offset} trailing bytes"
         )
     return user, keys
+
+
+def _check_put_flags(flags: int) -> int:
+    if flags & ~_KNOWN_PUT_FLAGS:
+        raise ProtocolError(f"unknown PUT flag bits 0x{flags & ~_KNOWN_PUT_FLAGS:x}")
+    return flags
+
+
+def encode_put_request(user: int, key: bytes, value: bytes,
+                       flags: int = 0) -> bytes:
+    """PUT request payload: user + flags + key + length-prefixed value."""
+    return (_PUT_PREFIX.pack(user, _check_put_flags(flags),
+                             len(_check_key(key)))
+            + key + _U32.pack(len(value)) + value)
+
+
+def decode_put_request(payload: bytes) -> Tuple[int, bytes, bytes, int]:
+    """Inverse of :func:`encode_put_request`: (user, key, value, flags)."""
+    if len(payload) < _PUT_PREFIX.size:
+        raise ProtocolError("truncated PUT request")
+    user, flags, key_len = _PUT_PREFIX.unpack_from(payload)
+    _check_put_flags(flags)
+    offset = _PUT_PREFIX.size
+    if len(payload) < offset + key_len + _U32.size:
+        raise ProtocolError("truncated PUT key")
+    key = payload[offset:offset + key_len]
+    offset += key_len
+    value_len = _U32.unpack_from(payload, offset)[0]
+    offset += _U32.size
+    if len(payload) - offset != value_len:
+        raise ProtocolError(
+            f"PUT value length mismatch: header says {value_len}, "
+            f"got {len(payload) - offset}"
+        )
+    return user, key, payload[offset:], flags
+
+
+def encode_put_many_request(user: int, items: Sequence[Tuple[bytes, bytes]],
+                            flags: int = 0) -> bytes:
+    """PUT_MANY request payload: user + flags + count + (key, value) items."""
+    parts = [_PUT_MANY_PREFIX.pack(user, _check_put_flags(flags), len(items))]
+    for key, value in items:
+        parts.append(_U16.pack(len(_check_key(key))))
+        parts.append(key)
+        parts.append(_U32.pack(len(value)))
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_put_many_request(payload: bytes
+                            ) -> Tuple[int, List[Tuple[bytes, bytes]], int]:
+    """Inverse of :func:`encode_put_many_request`: (user, items, flags)."""
+    if len(payload) < _PUT_MANY_PREFIX.size:
+        raise ProtocolError("truncated PUT_MANY request")
+    user, flags, count = _PUT_MANY_PREFIX.unpack_from(payload)
+    _check_put_flags(flags)
+    offset = _PUT_MANY_PREFIX.size
+    items: List[Tuple[bytes, bytes]] = []
+    for _ in range(count):
+        if len(payload) < offset + _U16.size:
+            raise ProtocolError("truncated PUT_MANY key length")
+        key_len = _U16.unpack_from(payload, offset)[0]
+        offset += _U16.size
+        if len(payload) < offset + key_len + _U32.size:
+            raise ProtocolError("truncated PUT_MANY key")
+        key = payload[offset:offset + key_len]
+        offset += key_len
+        value_len = _U32.unpack_from(payload, offset)[0]
+        offset += _U32.size
+        if len(payload) < offset + value_len:
+            raise ProtocolError("truncated PUT_MANY value")
+        items.append((key, payload[offset:offset + value_len]))
+        offset += value_len
+    if offset != len(payload):
+        raise ProtocolError(
+            f"PUT_MANY request has {len(payload) - offset} trailing bytes"
+        )
+    return user, items, flags
+
+
+def encode_put_many_response(count: int, sim_us: float) -> bytes:
+    """PUT_MANY response payload: records stored + batch simulated time."""
+    return _PUT_MANY_RESPONSE.pack(count, sim_us)
+
+
+def decode_put_many_response(payload: bytes) -> Tuple[int, float]:
+    """Inverse of :func:`encode_put_many_response`."""
+    if len(payload) != _PUT_MANY_RESPONSE.size:
+        raise ProtocolError(
+            f"PUT_MANY response must be {_PUT_MANY_RESPONSE.size} bytes, "
+            f"got {len(payload)}"
+        )
+    return _PUT_MANY_RESPONSE.unpack(payload)
+
+
+def encode_delete_request(user: int, key: bytes) -> bytes:
+    """DELETE request payload: identical shape to a GET request."""
+    return encode_get_request(user, key)
+
+
+def decode_delete_request(payload: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_delete_request`."""
+    if len(payload) < _GET_PREFIX.size:
+        raise ProtocolError("truncated DELETE request")
+    user, key_len = _GET_PREFIX.unpack_from(payload)
+    key = payload[_GET_PREFIX.size:]
+    if len(key) != key_len:
+        raise ProtocolError(
+            f"DELETE key length mismatch: header says {key_len}, got {len(key)}"
+        )
+    return user, key
 
 
 def encode_result(response: Response, sim_us: float) -> bytes:

@@ -365,6 +365,29 @@ class KVWireServer:
                 results = self.service.get_many_timed(user, keys)
             return self._response(Opcode.GET_MANY, request_id,
                                   protocol.encode_get_many_response(results))
+        if opcode == Opcode.PUT:
+            user, key, value, flags = protocol.decode_put_request(payload)
+            acl = self._put_acl(user, flags)
+            with self._service_lock:
+                response, sim_us = self.service.put_timed(user, key, value,
+                                                          acl)
+            return self._response(Opcode.PUT, request_id,
+                                  protocol.encode_result(response, sim_us))
+        if opcode == Opcode.PUT_MANY:
+            user, items, flags = protocol.decode_put_many_request(payload)
+            acl = self._put_acl(user, flags)
+            with self._service_lock:
+                responses, sim_us = self.service.put_many_timed(user, items,
+                                                                acl)
+            return self._response(
+                Opcode.PUT_MANY, request_id,
+                protocol.encode_put_many_response(len(responses), sim_us))
+        if opcode == Opcode.DELETE:
+            user, key = protocol.decode_delete_request(payload)
+            with self._service_lock:
+                response, sim_us = self.service.delete_timed(user, key)
+            return self._response(Opcode.DELETE, request_id,
+                                  protocol.encode_result(response, sim_us))
         if opcode == Opcode.STATS:
             return self._response(Opcode.STATS, request_id,
                                   protocol.encode_stats_response(self._stats()))
@@ -381,6 +404,12 @@ class KVWireServer:
                                   protocol.encode_wait_response(now))
         return self._error_frame(request_id, ErrorCode.UNSUPPORTED,
                                  f"opcode {opcode} is not servable")
+
+    @staticmethod
+    def _put_acl(user: int, flags: int):
+        from repro.system.acl import Acl
+        return Acl(owner=user,
+                   public_read=bool(flags & protocol.PUT_FLAG_PUBLIC_READ))
 
     def _stats(self) -> protocol.StatsSnapshot:
         stats = self.service.stats if hasattr(self.service, "stats") \

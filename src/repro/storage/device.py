@@ -11,6 +11,7 @@ DRAM-scale work yet overlapping enough that single measurements are noisy
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -68,6 +69,14 @@ class StorageDevice:
     The device is shared by the LSM-tree (SSTables, WAL) and read through
     the :class:`~repro.storage.page_cache.PageCache`; direct reads model
     cache misses.
+
+    Threading: a reentrant lock serializes every operation, so concurrent
+    callers (the wire server's workers, engine installers) see atomic
+    file mutations and consistent stats/latency-RNG state.  Determinism
+    still requires a deterministic *operation order* — the parallel build
+    engine guarantees it by keeping all device effects on one thread in
+    canonical order (see DESIGN.md section 9); the lock makes any other
+    concurrent use safe rather than silently corrupting.
     """
 
     def __init__(self, clock, model: Optional[DeviceModel] = None,
@@ -77,26 +86,30 @@ class StorageDevice:
         self._rng = rng or make_rng(None, "device")
         self._files: Dict[str, bytes] = {}
         self.stats = DeviceStats()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ files
 
     def create_file(self, path: str, data: bytes) -> None:
         """Write a complete immutable file (SSTables are write-once)."""
-        self._files[path] = bytes(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
-        self.clock.charge(self.model.write_latency_us)
+        with self._lock:
+            self._files[path] = bytes(data)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self.clock.charge(self.model.write_latency_us)
 
     def append(self, path: str, data: bytes) -> None:
         """Append to a file, creating it if missing (WAL traffic)."""
-        self._files[path] = self._files.get(path, b"") + bytes(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
-        self.clock.charge(self.model.write_latency_us)
+        with self._lock:
+            self._files[path] = self._files.get(path, b"") + bytes(data)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self.clock.charge(self.model.write_latency_us)
 
     def delete_file(self, path: str) -> None:
         """Remove a file (compaction garbage collection)."""
-        self._files.pop(path, None)
+        with self._lock:
+            self._files.pop(path, None)
 
     def rename(self, src: str, dst: str) -> None:
         """Atomically move ``src`` over ``dst`` (POSIX rename semantics).
@@ -106,10 +119,11 @@ class StorageDevice:
         content, never a mix — a crash can prevent the rename but cannot
         tear it.
         """
-        self._files[dst] = self._file(src)
-        del self._files[src]
-        self.stats.writes += 1
-        self.clock.charge(self.model.write_latency_us)
+        with self._lock:
+            self._files[dst] = self._file(src)
+            del self._files[src]
+            self.stats.writes += 1
+            self.clock.charge(self.model.write_latency_us)
 
     def exists(self, path: str) -> bool:
         """Whether ``path`` exists on the device."""
@@ -132,30 +146,33 @@ class StorageDevice:
         service time for the read plus a linear transfer cost per extra
         block.
         """
-        data = self._file(path)
-        if offset < 0 or length < 0 or offset + length > len(data):
-            raise ReadOutOfBoundsError(
-                f"read [{offset}, {offset + length}) out of bounds for "
-                f"{path!r} of size {len(data)}"
-            )
-        blocks = self._blocks_spanned(offset, length)
-        self.stats.reads += 1
-        self.stats.blocks_read += blocks
-        self.clock.charge(self._read_cost_us(blocks))
-        return data[offset : offset + length]
+        with self._lock:
+            data = self._file(path)
+            if offset < 0 or length < 0 or offset + length > len(data):
+                raise ReadOutOfBoundsError(
+                    f"read [{offset}, {offset + length}) out of bounds for "
+                    f"{path!r} of size {len(data)}"
+                )
+            blocks = self._blocks_spanned(offset, length)
+            self.stats.reads += 1
+            self.stats.blocks_read += blocks
+            self.clock.charge(self._read_cost_us(blocks))
+            return data[offset : offset + length]
 
     def read_block(self, path: str, block_index: int) -> bytes:
         """Read one whole block (page-cache fill granularity)."""
-        data = self._file(path)
-        start = block_index * self.model.block_size
-        if start >= len(data) or block_index < 0:
-            raise ReadOutOfBoundsError(
-                f"block {block_index} out of bounds for {path!r} of size {len(data)}"
-            )
-        self.stats.reads += 1
-        self.stats.blocks_read += 1
-        self.clock.charge(self._read_cost_us(1))
-        return data[start : start + self.model.block_size]
+        with self._lock:
+            data = self._file(path)
+            start = block_index * self.model.block_size
+            if start >= len(data) or block_index < 0:
+                raise ReadOutOfBoundsError(
+                    f"block {block_index} out of bounds for {path!r} "
+                    f"of size {len(data)}"
+                )
+            self.stats.reads += 1
+            self.stats.blocks_read += 1
+            self.clock.charge(self._read_cost_us(1))
+            return data[start : start + self.model.block_size]
 
     def num_blocks(self, path: str) -> int:
         """Number of blocks in ``path`` (last one may be partial)."""

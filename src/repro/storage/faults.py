@@ -179,35 +179,42 @@ class FaultyStorageDevice(StorageDevice):
     # -------------------------------------------------------------- mutations
 
     def create_file(self, path: str, data: bytes) -> None:
-        surviving = self._mutation_gate(path, len(data))
-        if surviving is None:
-            super().create_file(path, data)
-            return
-        if surviving:
-            self._files[path] = bytes(data[:surviving])
+        # The device lock spans gate + operation so the fault counters
+        # and the mutation they describe stay atomic under concurrency
+        # (the lock is reentrant; super() re-acquires it harmlessly).
+        with self._lock:
+            surviving = self._mutation_gate(path, len(data))
+            if surviving is None:
+                super().create_file(path, data)
+                return
+            if surviving:
+                self._files[path] = bytes(data[:surviving])
         raise self._crash(path)
 
     def append(self, path: str, data: bytes) -> None:
-        surviving = self._mutation_gate(path, len(data))
-        if surviving is None:
-            super().append(path, data)
-            return
-        if surviving:
-            self._files[path] = self._files.get(path, b"") \
-                + bytes(data[:surviving])
+        with self._lock:
+            surviving = self._mutation_gate(path, len(data))
+            if surviving is None:
+                super().append(path, data)
+                return
+            if surviving:
+                self._files[path] = self._files.get(path, b"") \
+                    + bytes(data[:surviving])
         raise self._crash(path)
 
     def rename(self, src: str, dst: str) -> None:
         # Atomic: a crash here prevents the rename entirely.
-        if self._mutation_gate(src, 0) is not None:
-            raise self._crash(src)
-        super().rename(src, dst)
+        with self._lock:
+            if self._mutation_gate(src, 0) is not None:
+                raise self._crash(src)
+            super().rename(src, dst)
 
     def delete_file(self, path: str) -> None:
         # Atomic: a crash here leaves the file in place.
-        if self._mutation_gate(path, 0) is not None:
-            raise self._crash(path)
-        super().delete_file(path)
+        with self._lock:
+            if self._mutation_gate(path, 0) is not None:
+                raise self._crash(path)
+            super().delete_file(path)
 
     # ------------------------------------------------------------------ reads
 
@@ -230,12 +237,14 @@ class FaultyStorageDevice(StorageDevice):
                 f"injected transient failure on read {index} (sampled)")
 
     def read(self, path: str, offset: int, length: int) -> bytes:
-        self._read_gate(path)
-        return super().read(path, offset, length)
+        with self._lock:
+            self._read_gate(path)
+            return super().read(path, offset, length)
 
     def read_block(self, path: str, block_index: int) -> bytes:
-        self._read_gate(path)
-        return super().read_block(path, block_index)
+        with self._lock:
+            self._read_gate(path)
+            return super().read_block(path, block_index)
 
     # ------------------------------------------------------------- corruption
 

@@ -25,6 +25,7 @@ block.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
@@ -71,6 +72,15 @@ class PageCache:
     bytes); ``None`` picks a default proportional to the page capacity and
     ``0`` disables the layer entirely (every :meth:`read_decoded` then
     decodes afresh, byte-for-byte what a plain :meth:`read` caller did).
+
+    Threading: a reentrant lock serializes every structural operation
+    (LRU order, insert, eviction, invalidation), making the cache safe
+    for concurrent readers such as the wire server's worker threads.
+    Pure membership probes (:meth:`contains`, :meth:`contains_decoded`)
+    stay lock-free — a racy answer there is at worst stale, never
+    corrupting.  As with the device, *determinism* additionally needs a
+    deterministic access order, which the parallel build engine provides
+    by keeping all cache traffic on one thread.
     """
 
     def __init__(self, device: StorageDevice, capacity_bytes: int,
@@ -99,6 +109,7 @@ class PageCache:
         self._decoded: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
         self._decoded_by_page: Dict[Tuple[str, int], Set[Tuple[str, int, int]]] = {}
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     # ----------------------------------------------------------------- access
 
@@ -122,17 +133,18 @@ class PageCache:
 
     def read_block(self, path: str, block_index: int) -> bytes:
         """Read one block, filling the cache on miss."""
-        key = (path, block_index)
-        cached = self._pages.get(key)
-        if cached is not None:
-            self._pages.move_to_end(key)
-            self.stats.hits += 1
-            self.device.clock.charge(self.hit_cost_us)
-            return cached
-        self.stats.misses += 1
-        block = self.device.read_block(path, block_index)
-        self._insert(key, block)
-        return block
+        with self._lock:
+            key = (path, block_index)
+            cached = self._pages.get(key)
+            if cached is not None:
+                self._pages.move_to_end(key)
+                self.stats.hits += 1
+                self.device.clock.charge(self.hit_cost_us)
+                return cached
+            self.stats.misses += 1
+            block = self.device.read_block(path, block_index)
+            self._insert(key, block)
+            return block
 
     def read_decoded(self, path: str, offset: int, length: int,
                      decode: Callable[[bytes], object]) -> object:
@@ -146,6 +158,10 @@ class PageCache:
         enabled, disabled, or thrashing.
         """
         key = (path, offset, length)
+        with self._lock:
+            return self._read_decoded_locked(key, path, offset, length, decode)
+
+    def _read_decoded_locked(self, key, path, offset, length, decode):
         obj = self._decoded.get(key)
         if obj is not None:
             block_size = self.device.model.block_size
@@ -196,7 +212,8 @@ class PageCache:
         displacement matters, so we insert zero-filled pages keyed by an
         artificial path.
         """
-        self._insert((f"!bg:{tag}", block_index), b"\x00" * size)
+        with self._lock:
+            self._insert((f"!bg:{tag}", block_index), b"\x00" * size)
 
     def invalidate_file(self, path: str) -> None:
         """Drop every cached block of ``path`` (file deleted by compaction).
@@ -205,22 +222,24 @@ class PageCache:
         compaction that deletes and reallocates table files can never be
         answered from a stale decoded block.
         """
-        stale = [key for key in self._pages if key[0] == path]
-        for key in stale:
-            self._bytes -= len(self._pages.pop(key))
-            self._invalidate_decoded_for_page(key)
-        # Decoded entries can outlive their pages (page evicted, entry not
-        # yet touched); sweep those too.
-        stale_decoded = [key for key in self._decoded if key[0] == path]
-        for key in stale_decoded:
-            self._drop_decoded(key)
+        with self._lock:
+            stale = [key for key in self._pages if key[0] == path]
+            for key in stale:
+                self._bytes -= len(self._pages.pop(key))
+                self._invalidate_decoded_for_page(key)
+            # Decoded entries can outlive their pages (page evicted, entry
+            # not yet touched); sweep those too.
+            stale_decoded = [key for key in self._decoded if key[0] == path]
+            for key in stale_decoded:
+                self._drop_decoded(key)
 
     def clear(self) -> None:
         """Drop all cached pages and decoded entries."""
-        self._pages.clear()
-        self._bytes = 0
-        self._decoded.clear()
-        self._decoded_by_page.clear()
+        with self._lock:
+            self._pages.clear()
+            self._bytes = 0
+            self._decoded.clear()
+            self._decoded_by_page.clear()
 
     @property
     def used_bytes(self) -> int:

@@ -93,6 +93,47 @@ class RateLimitedService:
 
     # ---------------------------------------------------------------- surface
 
+    def put(self, user: int, key: bytes, payload: bytes, acl=None) -> Response:
+        """Throttled write."""
+        self._admit(user)
+        return self.service.put(user, key, payload, acl)
+
+    def put_timed(self, user: int, key: bytes, payload: bytes,
+                  acl=None) -> Tuple[Response, float]:
+        """Throttled timed write (stall excluded, as in get_timed)."""
+        self._admit(user)
+        return self.service.put_timed(user, key, payload, acl)
+
+    def put_many(self, user: int, items, acl=None) -> List[Response]:
+        """Throttled batch write.
+
+        Admission is charged once per record — group commit amortizes the
+        store's WAL traffic, not the user's request budget; the batch API
+        must not become a rate-limit bypass.
+        """
+        items = list(items)
+        for _ in items:
+            self._admit(user)
+        return self.service.put_many(user, items, acl)
+
+    def put_many_timed(self, user: int, items,
+                       acl=None) -> Tuple[List[Response], float]:
+        """Throttled timed batch write (admission per record, stalls excluded)."""
+        items = list(items)
+        for _ in items:
+            self._admit(user)
+        return self.service.put_many_timed(user, items, acl)
+
+    def delete(self, user: int, key: bytes) -> Response:
+        """Throttled delete."""
+        self._admit(user)
+        return self.service.delete(user, key)
+
+    def delete_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """Throttled timed delete (stall excluded, as in get_timed)."""
+        self._admit(user)
+        return self.service.delete_timed(user, key)
+
     def get(self, user: int, key: bytes) -> Response:
         """Throttled point request."""
         self._admit(user)

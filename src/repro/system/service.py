@@ -74,6 +74,64 @@ class KVService:
         self.db.put(key, pack_value(record_acl, payload))
         return Response(Status.OK)
 
+    def put_timed(self, user: int, key: bytes, payload: bytes,
+                  acl: Optional[Acl] = None) -> Tuple[Response, float]:
+        """``put`` plus the simulated response time the client observes."""
+        with self.db.clock.measure() as stopwatch:
+            response = self.put(user, key, payload, acl)
+        return response, stopwatch.elapsed_us
+
+    def put_many(self, user: int, items: Sequence[Tuple[bytes, bytes]],
+                 acl: Optional[Acl] = None) -> List[Response]:
+        """Batch store through the LSM's group-commit write path.
+
+        All records share one ACL (``user``'s by default) and reach the
+        store via :meth:`~repro.lsm.db.LSMTree.put_many` — one WAL append
+        for the whole batch, state identical to a loop of :meth:`put`.
+        """
+        record_acl = acl or Acl(owner=user)
+        if not record_acl.allows_read(user) and record_acl.owner != user:
+            raise ServiceError("cannot create an object its owner cannot read")
+        packed = [(key, pack_value(record_acl, payload))
+                  for key, payload in items]
+        self.db.put_many(packed)
+        return [Response(Status.OK)] * len(packed)
+
+    def put_many_timed(self, user: int, items: Sequence[Tuple[bytes, bytes]],
+                       acl: Optional[Acl] = None
+                       ) -> Tuple[List[Response], float]:
+        """``put_many`` plus the simulated elapsed time of the whole batch."""
+        with self.db.clock.measure() as stopwatch:
+            responses = self.put_many(user, items, acl)
+        return responses, stopwatch.elapsed_us
+
+    def delete(self, user: int, key: bytes) -> Response:
+        """Delete an object; only its owner may.
+
+        Like :meth:`get`, the ACL lives in the value, so the service must
+        read it first — an unauthorized delete still walks the full
+        filter-then-maybe-I/O read path and leaks the same timing.
+        """
+        self.db.charge_cost(REQUEST_OVERHEAD_US)
+        stored = self.db.get(key)
+        if stored is None:
+            self.stats.record("not_found")
+            return Response(self._failure(Status.NOT_FOUND))
+        self.db.charge_cost(ACL_CHECK_US)
+        acl, _ = unpack_value(stored)
+        if acl.owner != user:
+            self.stats.record("unauthorized")
+            return Response(self._failure(Status.UNAUTHORIZED))
+        self.db.delete(key)
+        self.stats.record("ok")
+        return Response(Status.OK)
+
+    def delete_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """``delete`` plus the simulated response time."""
+        with self.db.clock.measure() as stopwatch:
+            response = self.delete(user, key)
+        return response, stopwatch.elapsed_us
+
     # ------------------------------------------------------------------ reads
 
     def get(self, user: int, key: bytes) -> Response:

@@ -80,6 +80,57 @@ def test_rank_select_match_naive_model(bits):
         assert bv.select1(rank) == pos
 
 
+class TestFromWords:
+    def test_matches_bool_construction(self):
+        bits = [i % 7 in (0, 2, 3) for i in range(517)]
+        words = []
+        for start in range(0, len(bits), 64):
+            word = 0
+            for offset, bit in enumerate(bits[start:start + 64]):
+                if bit:
+                    word |= 1 << offset
+            words.append(word)
+        fast = BitVector.from_words(words, len(bits))
+        slow = BitVector(bits)
+        assert fast._words == slow._words
+        assert fast._rank_dir == slow._rank_dir
+        assert fast._select_samples == slow._select_samples
+        assert len(fast) == len(slow) and fast.ones == slow.ones
+
+    def test_empty(self):
+        bv = BitVector.from_words([], 0)
+        assert len(bv) == 0 and bv.ones == 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            BitVector.from_words([0], 0)  # too many words
+        with pytest.raises(ConfigError):
+            BitVector.from_words([], 1)  # too few words
+        with pytest.raises(ConfigError):
+            BitVector.from_words([1 << 64], 65)  # not a u64
+        with pytest.raises(ConfigError):
+            BitVector.from_words([0b100], 2)  # set bit past length
+        with pytest.raises(ConfigError):
+            BitVector.from_words([], -1)
+
+
+@given(st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=8),
+       st.integers(0, 63))
+def test_from_words_equals_bool_path(full_words, tail_bits):
+    length = len(full_words) * 64 + tail_bits
+    words = list(full_words)
+    if tail_bits:
+        words.append(full_words[-1] & ((1 << tail_bits) - 1)
+                     if full_words else (1 << tail_bits) - 1)
+        length = len(full_words) * 64 + tail_bits
+    bits = [bool(words[i >> 6] >> (i & 63) & 1) for i in range(length)]
+    fast = BitVector.from_words(words, length)
+    slow = BitVector(bits)
+    assert fast._words == slow._words
+    assert fast._rank_dir == slow._rank_dir
+    assert fast._select_samples == slow._select_samples
+
+
 @given(st.integers(min_value=1, max_value=600), st.integers(0, 2**32))
 def test_select_rank_round_trip(length, seed):
     import random

@@ -1,0 +1,242 @@
+"""Parallel build engine equivalence: worker count must be invisible.
+
+The ingest engine's contract (DESIGN.md section 9): ``build_threads``
+changes wall-clock only.  Every simulated observable — file bytes, file
+numbering, manifest contents, device stats, the simulated clock — is
+bit-identical whether tables are built inline or fanned out to a process
+pool, because workers run pure compute and all effects stay on the
+caller's thread in canonical order.  These tests run identical seeded
+histories at several worker counts and diff the whole device.
+
+The ``build_threads=0`` streaming paths are the pre-engine reference:
+``bulk_load`` must match it byte-for-byte too (same split rule), while
+forced compaction only promises the same *logical* state (the engine
+splits outputs at key-range boundaries the streaming path does not).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.filters.bloom import BloomFilterBuilder
+from repro.lsm import parallel_build
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+from repro.storage.clock import SimClock
+from repro.storage.device import StorageDevice
+
+WORKER_COUNTS = (0, 1, 2, 4)
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Exercise the real fork pool even on single-core CI machines, so
+    the cross-process transport (pickling, portable filters) is what
+    these equivalence proofs actually cover."""
+    monkeypatch.setattr(parallel_build, "FORCE_POOL", True)
+
+
+def make_options(build_threads, **overrides):
+    defaults = dict(
+        memtable_size_bytes=4 * 1024,
+        sstable_target_bytes=4 * 1024,
+        block_size_bytes=512,
+        l0_compaction_trigger=3,
+        base_level_size_bytes=8 * 1024,
+        filter_builder=BloomFilterBuilder(10),
+        build_threads=build_threads,
+    )
+    defaults.update(overrides)
+    return LSMOptions(**defaults)
+
+
+def fresh_db(build_threads, **overrides):
+    clock = SimClock()
+    device = StorageDevice(clock)
+    db = LSMTree(options=make_options(build_threads, **overrides),
+                 clock=clock, device=device)
+    return db, device, clock
+
+
+def sorted_items(n=3000, width=6):
+    rng = make_rng(17, "bulk")
+    keys = sorted({rng.random_bytes(width) for _ in range(n)})
+    return [(key, b"value-" + key.hex().encode()) for key in keys]
+
+
+def device_state(device, clock):
+    return dict(device._files), clock.now_us, dataclasses.astuple(device.stats)
+
+
+def assert_same_state(state, baseline, label):
+    files, now_us, stats = state
+    base_files, base_now_us, base_stats = baseline
+    assert sorted(files) == sorted(base_files), label
+    for path in base_files:
+        assert files[path] == base_files[path], (label, path)
+    assert now_us == base_now_us, label
+    assert stats == base_stats, label
+
+
+class TestBulkLoadEquivalence:
+    def test_bit_identical_across_worker_counts(self, force_pool):
+        items = sorted_items()
+        baseline = None
+        for workers in WORKER_COUNTS:
+            db, device, clock = fresh_db(workers)
+            db.bulk_load(items)
+            state = device_state(device, clock)
+            if baseline is None:
+                # The dataset must genuinely shard (several tables).
+                tables = [p for p in state[0] if p.startswith("sst/")]
+                assert len(tables) > 3
+                baseline = state
+            else:
+                assert_same_state(state, baseline,
+                                  f"bulk_load workers={workers}")
+
+    def test_loaded_tree_reads_back(self, force_pool):
+        items = sorted_items(800)
+        db, _, _ = fresh_db(4)
+        db.bulk_load(items)
+        for key, value in items[::97]:
+            assert db.get(key) == value
+        assert db.get(b"\x00" * 6) is None
+
+
+class TestCompactionEquivalence:
+    @staticmethod
+    def populate_and_compact(workers):
+        # Interleaved puts/deletes across a small memtable: many flushes,
+        # L0 compactions mid-history, then a forced full compaction.
+        db, device, clock = fresh_db(workers)
+        expected = {}
+        for index in range(2500):
+            key = b"ck%05d" % (index * 37 % 701)
+            value = b"cv-%05d" % index
+            db.put(key, value)
+            expected[key] = value
+            if index % 11 == 0:
+                victim = b"ck%05d" % (index * 17 % 701)
+                db.delete(victim)
+                expected.pop(victim, None)
+        db.compact_all()
+        return db, device, clock, expected
+
+    def test_engine_bit_identical_across_worker_counts(self, force_pool):
+        baseline = None
+        for workers in (1, 2, 4):
+            db, device, clock, expected = self.populate_and_compact(workers)
+            state = device_state(device, clock)
+            if baseline is None:
+                assert db.stats.flushes > 3  # history crossed the engine
+                baseline = state
+            else:
+                assert_same_state(state, baseline,
+                                  f"compact workers={workers}")
+
+    def test_engine_matches_streaming_logical_state(self, force_pool):
+        # The streaming path may cut tables at different boundaries, so
+        # only the recovered key/value state must agree.
+        db_engine, _, _, expected = self.populate_and_compact(2)
+        db_stream, _, _, _ = self.populate_and_compact(0)
+        for key in sorted(expected):
+            assert db_engine.get(key) == expected[key]
+            assert db_stream.get(key) == expected[key]
+        missing = b"ck99999"
+        assert db_engine.get(missing) is None
+        assert db_stream.get(missing) is None
+
+
+class TestGroupCommitEquivalence:
+    @staticmethod
+    def big_memtable_db():
+        # Keep everything in the memtable + WAL: the comparison isolates
+        # the logging path from flush/compaction noise.
+        return fresh_db(1, memtable_size_bytes=32 * 1024 * 1024)
+
+    def test_put_many_matches_put_loop(self):
+        items = [(b"gk%05d" % index, b"gv-%05d" % index)
+                 for index in range(400)]
+        db_loop, dev_loop, clock_loop = self.big_memtable_db()
+        for key, value in items:
+            db_loop.put(key, value)
+        db_batch, dev_batch, clock_batch = self.big_memtable_db()
+        for start in range(0, len(items), 25):
+            db_batch.put_many(items[start:start + 25])
+
+        # Same WAL bytes (log_batch concatenates the per-record frames),
+        # same stored state ...
+        wal = "wal/current.wal"
+        assert dev_batch._files[wal] == dev_loop._files[wal]
+        for key, value in items[::37]:
+            assert db_batch.get(key) == value
+        assert db_batch.stats.puts == db_loop.stats.puts
+        # ... but one device append per batch: fewer writes, less
+        # simulated time.  That gap is the modeled group-commit win.
+        assert dev_batch.stats.writes < dev_loop.stats.writes
+        assert clock_batch.now_us < clock_loop.now_us
+
+    def test_delete_many_matches_delete_loop(self):
+        items = [(b"dk%05d" % index, b"dv-%05d" % index)
+                 for index in range(120)]
+        victims = [key for key, _ in items[::2]]
+        db_loop, dev_loop, _ = self.big_memtable_db()
+        db_batch, dev_batch, _ = self.big_memtable_db()
+        db_loop.put_many(items)
+        db_batch.put_many(items)
+        for key in victims:
+            db_loop.delete(key)
+        db_batch.delete_many(victims)
+        wal = "wal/current.wal"
+        assert dev_batch._files[wal] == dev_loop._files[wal]
+        assert dev_batch.stats.writes < dev_loop.stats.writes
+        for key, value in items:
+            expected = None if key in set(victims) else value
+            assert db_batch.get(key) == expected
+
+    def test_batched_wal_replays_on_reopen(self):
+        items = [(b"rk%05d" % index, b"rv-%05d" % index)
+                 for index in range(60)]
+        db, device, _ = self.big_memtable_db()
+        db.put_many(items)
+        db.delete_many([key for key, _ in items[::3]])
+        db.close()
+        recovered = LSMTree.reopen(
+            device, options=make_options(1,
+                                         memtable_size_bytes=32 * 1024 * 1024))
+        dropped = {key for key, _ in items[::3]}
+        for key, value in items:
+            expected = None if key in dropped else value
+            assert recovered.get(key) == expected
+
+
+class TestWorkerClamp:
+    def test_single_core_clamp_runs_inline(self, monkeypatch):
+        # On a one-core host the pool can only add transport overhead;
+        # map_build_tasks must clamp to inline without touching the pool.
+        monkeypatch.setattr(parallel_build, "_available_cpus", lambda: 1)
+        monkeypatch.setattr(
+            parallel_build, "_pool",
+            lambda workers: pytest.fail("pool used despite clamp"))
+        out = parallel_build.map_build_tasks(
+            [1, 2, 3], 4, lambda t: t * 2, lambda t: t * 2)
+        assert out == [2, 4, 6]
+
+    def test_force_pool_overrides_clamp(self, monkeypatch):
+        monkeypatch.setattr(parallel_build, "FORCE_POOL", True)
+        monkeypatch.setattr(parallel_build, "_available_cpus", lambda: 1)
+        used = []
+
+        class FakePool:
+            def map(self, fn, tasks):
+                used.append(len(tasks))
+                return [fn(t) for t in tasks]
+
+        monkeypatch.setattr(parallel_build, "_pool",
+                            lambda workers: FakePool())
+        out = parallel_build.map_build_tasks(
+            [1, 2, 3], 4, lambda t: t + 1, lambda t: t + 1)
+        assert out == [2, 3, 4]
+        assert used == [3]

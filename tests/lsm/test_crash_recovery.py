@@ -10,6 +10,8 @@ manifest / SSTable, missing and orphaned tables, transient read storms)
 asserting the recovery path's classification and quarantine behaviour.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.common.errors import CorruptionError, SimulatedCrashError
@@ -21,6 +23,7 @@ from repro.lsm.recovery import (
     REASON_UNREADABLE,
 )
 from repro.lsm.torture import (
+    OP_PUT_MANY,
     crash_point_sweep,
     default_torture_options,
     generate_workload,
@@ -61,6 +64,42 @@ class TestCrashPointSweep:
         # exhaustive across seeds).
         sweep = crash_point_sweep(seed=1, num_ops=200, stride=3)
         assert sweep.ok, sweep.describe()
+
+    def test_workloads_exercise_group_commit(self):
+        # The sweep only proves partial-batch durability if the script
+        # actually contains group commits.
+        ops = generate_workload(0, 200)
+        batches = [op for op in ops if op.kind == OP_PUT_MANY]
+        assert len(batches) >= 10
+        assert all(len(op.items) >= 2 for op in batches)
+
+    def test_sweep_with_parallel_builds(self, monkeypatch):
+        # The acceptance bar for the parallel ingest engine: crash
+        # torture must hold with multi-worker SSTable builds, because
+        # artifact installation (the only device-visible part) stays on
+        # the main thread in canonical order.  FORCE_POOL makes the fork
+        # pool real even on single-core CI hosts.
+        from repro.lsm import parallel_build
+        monkeypatch.setattr(parallel_build, "FORCE_POOL", True)
+        parallel = lambda: dataclasses.replace(  # noqa: E731
+            default_torture_options(), build_threads=2)
+        sweep = crash_point_sweep(seed=11, num_ops=100,
+                                  options_factory=parallel, stride=3)
+        assert sweep.ok, sweep.describe()
+
+    def test_mid_batch_crash_keeps_exact_frame_prefix(self):
+        # Find a put_many op and crash on its own WAL append: recovery
+        # must land on a strict prefix of the batch, which the oracle in
+        # run_crash_point checks frame-by-frame.
+        ops = generate_workload(5, 120)
+        assert any(op.kind == OP_PUT_MANY for op in ops)
+        checked = 0
+        device_probe = run_crash_point(5, ops, None)
+        for crash_at in range(0, device_probe.mutations, 7):
+            result = run_crash_point(5, ops, crash_at)
+            assert result.ok, result.describe()
+            checked += 1
+        assert checked > 10
 
     def test_crash_during_recovery_writes_is_survivable(self):
         # Recovery itself writes (manifest rewrite after fallback).  Crash

@@ -1,12 +1,15 @@
 """SSTable builder/reader tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import ConfigError, CorruptionError
 from repro.common.rng import make_rng
 from repro.filters.bloom import BloomFilterBuilder
 from repro.lsm.memtable import TOMBSTONE, Entry
 from repro.lsm.options import CostModel
+from repro.lsm.parallel_build import build_table_artifact, split_records
 from repro.lsm.sstable import SSTableBuilder, SSTableReader
 from repro.storage.clock import SimClock
 from repro.storage.device import StorageDevice
@@ -154,3 +157,91 @@ class TestTimingBehaviour:
         table.reader.get(key, cache, COSTS)
         warm = clock.now_us - t1
         assert cold > 3 * warm
+
+
+record_lists = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=12),
+              st.one_of(st.none(), st.binary(max_size=24))),
+    min_size=1, max_size=80, unique_by=lambda record: record[0])
+
+
+class TestArtifactEquivalence:
+    """The determinism contract of the parallel build engine:
+    :func:`build_table_artifact` emits byte-for-byte the file the
+    streaming :class:`SSTableBuilder` writes for the same records."""
+
+    @staticmethod
+    def streaming(device, records, block_size, filter_builder=None):
+        builder = SSTableBuilder(device, "sst/stream.sst", block_size,
+                                 filter_builder)
+        for key, value in records:
+            builder.add(key, TOMBSTONE if value is None else Entry(value))
+        table = builder.finish()
+        return device._files["sst/stream.sst"], table
+
+    @given(records=record_lists, block_size=st.sampled_from([64, 256, 4096]))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_streaming_bytes(self, records, block_size):
+        records = sorted(records)
+        device = StorageDevice(SimClock())
+        file_bytes, table = self.streaming(device, records, block_size)
+        artifact = build_table_artifact(records, block_size, None)
+        assert artifact.file_bytes == file_bytes
+        assert artifact.min_key == table.min_key
+        assert artifact.max_key == table.max_key
+        assert artifact.num_entries == table.num_entries
+        assert artifact.size_bytes == table.size_bytes
+
+    def test_batch_matches_streaming_with_filter(self):
+        # Large enough that the bloom builder's vectorized build_batch
+        # path engages — it must still match the scalar streaming bits.
+        rng = make_rng(3, "artifact")
+        keys = sorted({rng.random_bytes(rng.randint(1, 9))
+                       for _ in range(400)})
+        records = [(key, b"v" * (key[0] % 17)) for key in keys]
+        device = StorageDevice(SimClock())
+        file_bytes, _ = self.streaming(device, records, 256,
+                                       BloomFilterBuilder(10))
+        artifact = build_table_artifact(records, 256, BloomFilterBuilder(10))
+        assert artifact.file_bytes == file_bytes
+        assert artifact.filter_data != b""
+
+    def test_rejects_same_inputs_as_streaming(self):
+        with pytest.raises(ConfigError):
+            build_table_artifact([], 4096, None)
+        with pytest.raises(ConfigError):
+            build_table_artifact([(b"", b"v")], 4096, None)
+        with pytest.raises(ConfigError):
+            build_table_artifact([(b"b", b"v"), (b"a", b"v")], 4096, None)
+
+    @given(records=record_lists, target=st.sampled_from([96, 400, 2048]))
+    @settings(max_examples=40, deadline=None)
+    def test_split_points_match_streaming_closure(self, records, target):
+        # split_records must cut exactly where a streaming build loop
+        # (close the table once estimated_bytes reaches the target)
+        # would have, so sharded bulk loads emit identical table sets.
+        records = sorted(records)
+        block_size = 64
+        chunks = split_records(records, block_size, target)
+        assert [r for chunk in chunks for r in chunk] == records
+        device = StorageDevice(SimClock())
+        expected = []
+        current = []
+        builder = None
+        table_index = 0
+        for key, value in records:
+            if builder is None:
+                builder = SSTableBuilder(device, "sst/%d.sst" % table_index,
+                                         block_size)
+                table_index += 1
+            builder.add(key, TOMBSTONE if value is None else Entry(value))
+            current.append((key, value))
+            if builder.estimated_bytes >= target:
+                builder.finish()
+                expected.append(current)
+                current = []
+                builder = None
+        if current:
+            builder.finish()
+            expected.append(current)
+        assert chunks == expected

@@ -44,7 +44,10 @@ class TestTieredPolicy:
         db = LSMTree(tiered_options())
         populate(db, 6000)
         # Without merging there would be dozens of memtable-sized runs.
-        assert len(db.version.levels[0]) < 12
+        # Merged outputs split at sstable_target_bytes, so count sorted
+        # *runs* (groups of consecutive disjoint tables), not tables.
+        groups = db._compactor._group_runs(db.version.levels[0])
+        assert len(groups) < 12
         assert db._compactor.compactions_run > 0
 
     def test_reads_correct_across_runs(self):
@@ -82,12 +85,29 @@ class TestTieredPolicy:
         for key in deleted:
             db.delete(key)
         db.compact_all()
-        assert len(db.version.levels[0]) == 1
+        # One sorted run, split into target-sized tables.
+        groups = db._compactor._group_runs(db.version.levels[0])
+        assert len(groups) == 1
         for key in deleted[::9]:
             assert db.get(key) is None
         # Tombstones were dropped in the full merge.
-        assert (db.version.levels[0][0].num_entries
+        assert (sum(t.num_entries for t in db.version.levels[0])
                 == len(model) - len(deleted))
+
+    def test_merged_runs_split_at_target(self):
+        # Regression: tiered merges used to emit one giant run table,
+        # ignoring sstable_target_bytes entirely.
+        db = LSMTree(tiered_options())
+        populate(db, 4000)
+        db.compact_all()
+        tables = db.version.levels[0]
+        assert len(tables) > 1
+        target = db.options.sstable_target_bytes
+        # Every table closed near the target: none grossly oversized.
+        assert all(t.size_bytes < 2 * target for t in tables)
+        # The split pieces form one ascending, disjoint run.
+        for prev, nxt in zip(tables, tables[1:]):
+            assert prev.max_key < nxt.min_key
 
     def test_old_run_files_deleted(self):
         db = LSMTree(tiered_options())

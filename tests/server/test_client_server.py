@@ -197,6 +197,59 @@ class TestInjectableTransport:
         assert adapter.distinguish_unauthorized is True
 
 
+class TestWriteOpcodes:
+    def test_put_then_get_round_trip(self, loopback):
+        client = loopback.connect()
+        response = client.put(OWNER_USER, b"wire:put:a", b"payload-a")
+        assert response.status is Status.OK
+        got = client.get(OWNER_USER, b"wire:put:a")
+        assert got.status is Status.OK and got.value == b"payload-a"
+        # The ACL rides inside the value: another user may not read it.
+        assert client.get(ATTACKER_USER, b"wire:put:a").status in (
+            Status.UNAUTHORIZED, Status.FAILED)
+
+    def test_public_read_flag(self, loopback):
+        client = loopback.connect()
+        client.put(OWNER_USER, b"wire:put:pub", b"open", public_read=True)
+        got = client.get(ATTACKER_USER, b"wire:put:pub")
+        assert got.status is Status.OK and got.value == b"open"
+
+    def test_put_timed_reports_simulated_time(self, loopback):
+        client = loopback.connect()
+        response, sim_us = client.put_timed(OWNER_USER, b"wire:put:t", b"v")
+        assert response.status is Status.OK
+        assert sim_us > 0
+
+    def test_put_many_stores_batch(self, loopback):
+        client = loopback.connect()
+        items = [(b"wire:pm:%d" % i, b"value-%d" % i) for i in range(20)]
+        count, sim_us = client.put_many_timed(OWNER_USER, items)
+        assert count == len(items)
+        assert sim_us > 0
+        for key, value in items[::5]:
+            got = client.get(OWNER_USER, key)
+            assert got.status is Status.OK and got.value == value
+
+    def test_delete_enforces_ownership(self, loopback):
+        client = loopback.connect()
+        client.put(OWNER_USER, b"wire:del:k", b"v")
+        # Non-owner delete is refused and leaves the object in place
+        # (UNAUTHORIZED, or FAILED when the service hides the reason).
+        refused = client.delete(ATTACKER_USER, b"wire:del:k")
+        assert refused.status in (Status.UNAUTHORIZED, Status.FAILED)
+        assert client.get(OWNER_USER, b"wire:del:k").status is Status.OK
+        # Owner delete succeeds; the key is gone afterwards.
+        assert client.delete(OWNER_USER, b"wire:del:k").status is Status.OK
+        assert client.get(OWNER_USER, b"wire:del:k").status in (
+            Status.NOT_FOUND, Status.FAILED)
+
+    def test_delete_absent_key_not_found(self, loopback):
+        client = loopback.connect()
+        response, sim_us = client.delete_timed(OWNER_USER, b"wire:del:absent")
+        assert response.status in (Status.NOT_FOUND, Status.FAILED)
+        assert sim_us > 0
+
+
 class TestRateLimitedComposition:
     def test_server_fronts_rate_limited_service(self, wire_env):
         limited = RateLimitedService(

@@ -204,3 +204,72 @@ class TestControlCodecs:
             protocol.encode_error(code, message))
         assert decoded_code == code
         assert decoded_message == message
+
+
+values = st.binary(min_size=0, max_size=96)
+put_flags = st.sampled_from([0, protocol.PUT_FLAG_PUBLIC_READ])
+
+
+class TestWriteCodecs:
+    @given(user=users, key=keys, value=values, flags=put_flags)
+    def test_put_request_round_trip(self, user, key, value, flags):
+        wire = protocol.encode_put_request(user, key, value, flags)
+        assert protocol.decode_put_request(wire) == (user, key, value, flags)
+
+    def test_put_unknown_flags_refused(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_put_request(1, b"k", b"v", 0x80)
+        wire = bytearray(protocol.encode_put_request(1, b"k", b"v"))
+        wire[8] |= 0x80  # flags byte follows the u64 user id
+        with pytest.raises(ProtocolError):
+            protocol.decode_put_request(bytes(wire))
+
+    @given(user=users, key=keys, value=values,
+           cut=st.integers(min_value=1, max_value=200))
+    def test_truncated_put_rejected(self, user, key, value, cut):
+        wire = protocol.encode_put_request(user, key, value)
+        with pytest.raises(ProtocolError):
+            protocol.decode_put_request(wire[:-min(cut, len(wire))])
+
+    @given(user=users,
+           items=st.lists(st.tuples(keys, values), max_size=12),
+           flags=put_flags)
+    def test_put_many_request_round_trip(self, user, items, flags):
+        wire = protocol.encode_put_many_request(user, items, flags)
+        assert protocol.decode_put_many_request(wire) == (user, items, flags)
+
+    @given(user=users,
+           items=st.lists(st.tuples(keys, values), min_size=1, max_size=6),
+           extra=st.binary(min_size=1, max_size=4))
+    def test_put_many_trailing_bytes_rejected(self, user, items, extra):
+        wire = protocol.encode_put_many_request(user, items) + extra
+        with pytest.raises(ProtocolError):
+            protocol.decode_put_many_request(wire)
+
+    @given(user=users,
+           items=st.lists(st.tuples(keys, values), min_size=1, max_size=6),
+           cut=st.integers(min_value=1, max_value=200))
+    def test_truncated_put_many_rejected(self, user, items, cut):
+        wire = protocol.encode_put_many_request(user, items)
+        with pytest.raises(ProtocolError):
+            protocol.decode_put_many_request(wire[:-min(cut, len(wire))])
+
+    @given(count=st.integers(min_value=0, max_value=2**32 - 1),
+           sim_us=sim_times)
+    def test_put_many_response_round_trip(self, count, sim_us):
+        wire = protocol.encode_put_many_response(count, sim_us)
+        assert protocol.decode_put_many_response(wire) == (count, sim_us)
+
+    def test_put_many_response_wrong_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_put_many_response(b"\x00" * 5)
+
+    @given(user=users, key=keys)
+    def test_delete_request_round_trip(self, user, key):
+        wire = protocol.encode_delete_request(user, key)
+        assert protocol.decode_delete_request(wire) == (user, key)
+
+    def test_truncated_delete_rejected(self):
+        wire = protocol.encode_delete_request(3, b"victim")
+        with pytest.raises(ProtocolError):
+            protocol.decode_delete_request(wire[:-1])
