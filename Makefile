@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke ingest-smoke torture clean
+.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke torture clean
 
 check: test test39
 
@@ -35,6 +35,14 @@ bench:
 ingest-smoke:
 	REPRO_INGEST_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_ingest.py -q --benchmark-disable
+
+# Small-N run of the filter-probe bench: asserts the batched engine's
+# verdicts, extracted keys, and simulated time equal the scalar path's
+# (the bit-identity contract) without the full-size timing runs, and
+# without touching the committed results files.
+probe-smoke:
+	REPRO_PROBE_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_filter_probe.py -q --benchmark-disable
 
 # One real TCP round trip through the wire-protocol server: build a small
 # store, serve it, ping + get + stats from a client, shut down cleanly.

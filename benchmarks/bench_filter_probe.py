@@ -1,0 +1,43 @@
+"""Bench: filter-probe engine (batched probes, end-to-end attack).
+
+Writes ``results/BENCH_filter_probe.{txt,json}``.  ``REPRO_PROBE_SMOKE=1``
+shrinks the workload for the CI smoke step: the bit-identity assertions
+(batch verdicts == scalar verdicts; attack disclosures and simulated time
+equal with the engine off and on) still run, the throughput bars do not
+(tiny inputs are all fixed overhead), and the committed results file is
+left untouched.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.bench.experiments import exp_filter_probe
+
+SMOKE = bool(os.environ.get("REPRO_PROBE_SMOKE"))
+
+
+def test_filter_probe_report(benchmark):
+    if SMOKE:
+        report = benchmark.pedantic(
+            lambda: exp_filter_probe.run(num_keys=2_000, num_probes=2_000,
+                                         attack_keys=1_500,
+                                         attack_samples=600,
+                                         attack_candidates=3_000, reps=1),
+            rounds=1, iterations=1)
+    else:
+        report = benchmark.pedantic(exp_filter_probe.run,
+                                    rounds=1, iterations=1)
+        emit(report)
+    summary = report.summary
+    # Bit-identity is non-negotiable at any scale.
+    assert summary["attack_keys_identical"]
+    assert summary["attack_sim_identical"]
+    if not SMOKE:
+        # The acceptance bars of the probe-engine overhaul, measured
+        # same-run: >= 2x batched throughput on the Bloom and LOUDS-SuRF
+        # paths, and the engine must pay for itself end to end.
+        assert summary["probe_speedup_bloom"] >= 2.0
+        assert summary["probe_speedup_surf_louds"] >= 2.0
+        assert summary["probe_speedup_surf_trie"] > 1.0
+        assert summary["attack_wall_speedup"] > 1.0

@@ -26,6 +26,28 @@ DEMO_FILTERS = ("surf-real", "surf-base", "surf-hash", "pbf", "bloom",
                 "rosetta", "split")
 
 
+def _maybe_profile(path: Optional[str], fn):
+    """Run ``fn``, under cProfile when ``path`` is set.
+
+    Dumps the raw stats to ``path`` (loadable with :mod:`pstats` or
+    snakeviz-style viewers) and prints the top 20 entries by cumulative
+    time so the hot path is visible without leaving the terminal.
+    """
+    if not path:
+        return fn()
+    import cProfile
+    import pstats
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        return fn()
+    finally:
+        profile.disable()
+        profile.dump_stats(path)
+        print(f"\nprofile written to {path}; top 20 by cumulative time:")
+        pstats.Stats(profile).sort_stats("cumulative").print_stats(20)
+
+
 def _cmd_list() -> int:
     print("available experiments:")
     for name, module in ALL_EXPERIMENTS.items():
@@ -86,11 +108,11 @@ def _cmd_demo(args) -> int:
 
     if args.attack == "range":
         verify = "none" if args.filter in ("split", "pbf", "bloom") else "point"
-        result = RangeDescentAttack(
+        result = _maybe_profile(args.profile, RangeDescentAttack(
             IdealizedRangeOracle(env.service, ATTACKER_USER),
             RangeAttackConfig(key_width=args.width, max_keys=args.target_keys,
                               max_queries=args.candidates * 100,
-                              verify_mode=verify, seed=args.seed)).run()
+                              verify_mode=verify, seed=args.seed)).run)
         keys, total = result.keys, result.total_queries
     else:
         variant = (SurfVariant(args.filter.split("-", 1)[1])
@@ -103,7 +125,7 @@ def _cmd_demo(args) -> int:
             IdealizedOracle(env.service, ATTACKER_USER), strategy,
             AttackConfig(key_width=args.width,
                          num_candidates=args.candidates))
-        result = attack.run()
+        result = _maybe_profile(args.profile, attack.run)
         keys = [e.key for e in result.extracted]
         total = result.total_queries
 
@@ -188,11 +210,11 @@ def _cmd_attack(args) -> int:
     print(f"attacking {host}:{port} over {args.connections} connections ...",
           flush=True)
     with ConnectionPool.tcp(host, int(port), args.connections) as pool:
-        outcome = run_parallel_surf_attack(
+        outcome = _maybe_profile(args.profile, lambda: run_parallel_surf_attack(
             pool, ATTACKER_USER, args.width, scheme,
             config=AttackConfig(key_width=args.width,
                                 num_candidates=args.candidates),
-            seed=args.seed, learn_samples=args.samples)
+            seed=args.seed, learn_samples=args.samples))
         wall = pool.wall_stats()
     result = outcome.result
     print(f"extracted {result.num_extracted} keys with "
@@ -292,6 +314,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo.add_argument("--target-keys", type=int, default=15,
                       help="range attack: stop after this many keys")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--profile", nargs="?", const="demo.pstats",
+                      default=None, metavar="PSTATS",
+                      help="run the attack under cProfile, dump stats to "
+                           "PSTATS (default demo.pstats) and print the "
+                           "top-20 cumulative entries")
 
     serve = sub.add_parser("serve",
                            help="serve a freshly built store over TCP")
@@ -337,6 +364,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     attack.add_argument("--samples", type=int, default=6_000,
                         help="learning-phase samples (default 6000)")
     attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--profile", nargs="?", const="attack.pstats",
+                        default=None, metavar="PSTATS",
+                        help="run the attack under cProfile, dump stats to "
+                             "PSTATS (default attack.pstats) and print the "
+                             "top-20 cumulative entries")
 
     doctor = sub.add_parser(
         "doctor",

@@ -161,6 +161,13 @@ def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
     and it discloses the *same key* as the serial scan (statuses are pure
     functions of the key), at the cost of up to ``chunk_size - 1`` extra
     probes past the hit.
+
+    The serial scan itself buffers ``chunk_size`` candidates at a time so
+    an oracle offering ``prober_for`` can precompute the buffer's filter
+    verdicts in one pure batched pass; unlike the ``probe_many`` path this
+    changes nothing observable — probes are still consumed one at a time
+    with early exit, so query counts and simulated time are exactly the
+    unbuffered scan's.
     """
     if len(prefix) > key_width:
         raise AttackError(
@@ -171,6 +178,7 @@ def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
                                       max_queries, probe_many, chunk_size)
     if probe is None:
         probe = _prober_for(oracle)
+    planner = getattr(oracle, "prober_for", None)
     suffix_len = key_width - len(prefix)
     space = suffix_space_size(len(prefix), key_width)
     mask = None
@@ -184,19 +192,42 @@ def extend_prefix(oracle: QueryOracle, prefix: bytes, key_width: int,
     queries = 0
     considered = 0
     positive = (Status.UNAUTHORIZED, Status.OK)
+    # Candidates are buffered so the oracle can precompute the buffer's
+    # filter verdicts in one pure batched pass (``prober_for``); each
+    # flush then probes serially with early exit, so queries issued,
+    # responses, and simulated time are exactly the one-at-a-time scan's.
+    # All buffered candidates lie within the query budget by construction.
+    pending: list = []
+
+    def flush() -> Optional[bytes]:
+        nonlocal queries
+        probe_fn = planner(pending) if planner is not None else probe
+        for candidate in pending:
+            queries += 1
+            if probe_fn(candidate) in positive:
+                return candidate
+        return None
+
     for value in range(space):
         suffix = value.to_bytes(suffix_len, "big") if suffix_len else b""
         considered += 1
         if mask is not None:
             if fnv1a_64_update(prefix_state, suffix) & mask != target_bits:
                 continue  # pruned for free: hash bits cannot match
-        if max_queries is not None and queries >= max_queries:
-            return ExtensionResult(None, queries, considered, exhausted=False)
-        queries += 1
-        status = probe(prefix + suffix)
-        if status in positive:
-            return ExtensionResult(prefix + suffix, queries, considered,
-                                   exhausted=False)
+        if max_queries is not None and queries + len(pending) >= max_queries:
+            hit = flush() if pending else None
+            return ExtensionResult(hit, queries, considered, exhausted=False)
+        pending.append(prefix + suffix)
+        if len(pending) >= chunk_size:
+            hit = flush()
+            pending = []
+            if hit is not None:
+                return ExtensionResult(hit, queries, considered,
+                                       exhausted=False)
+    if pending:
+        hit = flush()
+        if hit is not None:
+            return ExtensionResult(hit, queries, considered, exhausted=False)
     return ExtensionResult(None, queries, considered, exhausted=True)
 
 

@@ -75,6 +75,35 @@ class QueryOracle(abc.ABC):
         probe_one = self.prober()
         return [probe_one(key) for key in keys]
 
+    def prober_for(self, keys: Sequence[bytes]) -> Callable[[bytes], Status]:
+        """:meth:`prober`, primed for an upcoming candidate batch.
+
+        When the service exposes the store's probe engine, the batch's
+        filter verdicts are precomputed in one pure pass (vectorized
+        Bloom hashing, shared-prefix trie traversal) and the returned
+        per-key prober replays against the memo.  The prepass touches no
+        stats, clock, or RNG and the replay consumes verdicts in call
+        order, so probing any prefix of ``keys`` — the extension loops
+        stop at the first hit — is bit-identical to :meth:`prober`,
+        including the accounting of the probes never issued.
+        """
+        getter = getattr(self.service, "getter", None)
+        probe_plan = getattr(getattr(self.service, "db", None),
+                             "probe_plan", None)
+        if getter is None or probe_plan is None:
+            return self.prober()
+        plan = probe_plan(list(keys))
+        if plan is None:  # engine disabled, or nothing reaches a filter
+            return self.prober()
+        get_one = getter(self.attacker_user, plan)
+        counter = self.counter
+
+        def probe_one(key: bytes) -> Status:
+            counter.charge(1)
+            return get_one(key).status
+
+        return probe_one
+
 
 class TimingOracle(QueryOracle):
     """Classification by response-time measurement (the actual attack)."""
@@ -143,16 +172,29 @@ class FineTimingOracle(QueryOracle):
         self.rounds = rounds
 
     def classify(self, keys: Sequence[bytes]) -> List[bool]:
-        """Warm-then-average classification, no waits."""
-        out: List[bool] = []
+        """Warm-then-average classification, no waits.
+
+        One ``get_many_timed`` call covers the whole key set: the
+        schedule concatenates each key's warm query plus ``rounds``
+        measurements, so the query sequence — and therefore every
+        simulated latency — is identical to the per-key calls this
+        replaces, while the filter-probe prepass and the Python batch
+        overhead are paid once instead of ``len(keys)`` times.  Each
+        key's first sample (the warm-up) is still discarded.
+        """
+        if not keys:
+            return []
         rounds = self.rounds
+        per_key = rounds + 1
+        self.counter.charge(per_key * len(keys))
+        schedule: List[bytes] = []
         for key in keys:
-            self.counter.charge(rounds + 1)
-            # One warm query plus ``rounds`` measurements, batched; the
-            # first result (the warm-up) is discarded exactly as before.
-            timed = self.service.get_many_timed(self.attacker_user,
-                                                [key] * (rounds + 1))
-            total = sum(elapsed for _, elapsed in timed[1:])
+            schedule.extend([key] * per_key)
+        timed = self.service.get_many_timed(self.attacker_user, schedule)
+        out: List[bool] = []
+        for start in range(0, len(timed), per_key):
+            total = sum(elapsed
+                        for _, elapsed in timed[start + 1:start + per_key])
             out.append(total / rounds >= self.cutoff_us)
         return out
 
@@ -169,12 +211,15 @@ class IdealizedOracle(QueryOracle):
         self.db = db or service.db
 
     def classify(self, keys: Sequence[bytes]) -> List[bool]:
-        """Exact filter decisions, one (accounted) query per key."""
-        out = []
-        for key in keys:
-            self.counter.charge(1)
-            out.append(self.db.filters_pass(key))
-        return out
+        """Exact filter decisions, one (accounted) query per key.
+
+        Runs through the store's batched ``filters_pass_many`` — the
+        counter still advances by one per key and the verdicts are
+        exactly the per-key ``filters_pass`` loop's.
+        """
+        keys = list(keys)
+        self.counter.charge(len(keys))
+        return self.db.filters_pass_many(keys)
 
     def wait_for_eviction(self) -> None:
         """No-op: the idealized attack never waits (section 10.2.2)."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 
 @dataclass
@@ -45,6 +45,16 @@ class FilterQueryStats:
         if passed:
             self.range_positives += 1
 
+    def record_points(self, verdicts: Sequence[bool]) -> None:
+        """Record a batch of point-query outcomes (same totals as a loop)."""
+        self.point_queries += len(verdicts)
+        self.positives += sum(verdicts)
+
+    def record_ranges(self, verdicts: Sequence[bool]) -> None:
+        """Record a batch of range-query outcomes (same totals as a loop)."""
+        self.range_queries += len(verdicts)
+        self.range_positives += sum(verdicts)
+
 
 class Filter(abc.ABC):
     """Approximate-membership filter over a set of byte-string keys."""
@@ -64,6 +74,33 @@ class Filter(abc.ABC):
         passed = self._may_contain(key)
         self.stats.record_point(passed)
         return passed
+
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Implementation hook for batched point queries.
+
+        Must return, for every input order and multiplicity, exactly the
+        verdicts a scalar ``_may_contain`` loop would — filters override
+        this with vectorized or shared-prefix traversals, but the verdict
+        vector is part of the contract, not an approximation of it.
+        """
+        may_contain = self._may_contain
+        return [may_contain(key) for key in keys]
+
+    def probe_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Pure batched point probes: verdicts only, **no** stats update.
+
+        The LSM probe engine uses this for its prepass, then replays the
+        scalar control flow and records stats only for the probes that
+        path actually consumes — so engine on/off leaves
+        :attr:`stats` bit-identical.
+        """
+        return self._may_contain_many(list(keys))
+
+    def may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Batched point query; updates :attr:`stats` like a scalar loop."""
+        verdicts = self._may_contain_many(list(keys))
+        self.stats.record_points(verdicts)
+        return verdicts
 
     @abc.abstractmethod
     def memory_bits(self) -> int:
@@ -86,6 +123,24 @@ class RangeFilter(Filter):
         passed = self._may_contain_range(low, high)
         self.stats.record_range(passed)
         return passed
+
+    def _may_contain_range_many(
+            self, ranges: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Implementation hook for batched range queries (scalar default)."""
+        may_contain_range = self._may_contain_range
+        return [may_contain_range(low, high) for low, high in ranges]
+
+    def probe_range_many(
+            self, ranges: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Pure batched range probes: verdicts only, no stats update."""
+        return self._may_contain_range_many(list(ranges))
+
+    def may_contain_range_many(
+            self, ranges: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Batched range query; updates :attr:`stats` like a scalar loop."""
+        verdicts = self._may_contain_range_many(list(ranges))
+        self.stats.record_ranges(verdicts)
+        return verdicts
 
 
 class FilterBuilder(abc.ABC):

@@ -9,12 +9,61 @@ and Rosetta.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.common.errors import ConfigError
 from repro.filters.base import Filter, FilterBuilder
 from repro.filters.bitarray import BitArray
 from repro.filters.hashing import probe_indices
+
+#: Below this batch size the numpy probe path costs more than it saves.
+_BATCH_MIN = 16
+
+
+def _numpy():
+    """The numpy module, or ``None`` when unavailable (3.9 floor allows it)."""
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    return np
+
+
+def _batch_hashes_mod(np, keys: Sequence[bytes], num_bits: int):
+    """``(h1 % m, h2 % m)`` per key, in input order.
+
+    Vectorized FNV-1a: keys are grouped by length and each group's hash is
+    folded one byte-column at a time, exactly mirroring the scalar
+    ``double_hashes`` (uint64 wraparound matches FNV's mod-2**64
+    arithmetic).  Scattering results back through the position index keeps
+    the output aligned with the input order.
+    """
+    from repro.filters.hashing import _FNV_PRIME, fnv1a_64_init
+
+    m = np.uint64(num_bits)
+    prime = np.uint64(_FNV_PRIME)
+    h1m = np.empty(len(keys), dtype=np.uint64)
+    h2m = np.empty(len(keys), dtype=np.uint64)
+    by_length = {}
+    for pos, key in enumerate(keys):
+        by_length.setdefault(len(key), []).append(pos)
+    for length, positions in by_length.items():
+        n = len(positions)
+        h1 = np.full(n, fnv1a_64_init(0), dtype=np.uint64)
+        h2 = np.full(n, fnv1a_64_init(1), dtype=np.uint64)
+        if length:
+            columns = np.frombuffer(
+                b"".join(keys[pos] for pos in positions), dtype=np.uint8)
+            columns = columns.reshape(n, length).astype(np.uint64)
+            for col in range(length):
+                byte = columns[:, col]
+                h1 = (h1 ^ byte) * prime
+                h2 = (h2 ^ byte) * prime
+        h2 = h2 | np.uint64(1)
+        where = np.asarray(positions, dtype=np.int64)
+        h1m[where] = h1 % m
+        h2m[where] = h2 % m
+    return h1m, h2m
 
 
 def optimal_num_probes(bits_per_key: float) -> int:
@@ -68,6 +117,31 @@ class BloomFilter(Filter):
             self._bits.get(index)
             for index in probe_indices(key, self.num_probes, len(self._bits))
         )
+
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Batched probes, hashing the whole key set at once.
+
+        Bit-identical to the scalar loop: same decomposed probe-index
+        arithmetic as :meth:`BloomFilterBuilder.build_batch`
+        (``((h1 % m) + (i * (h2 % m)) % m) % m`` — the direct
+        ``h1 + i*h2`` would wrap at 2**64 and diverge from the scalar
+        path's arbitrary-precision ints).
+        """
+        np = _numpy()
+        if np is None or len(keys) < _BATCH_MIN:
+            return super()._may_contain_many(keys)
+        num_bits = len(self._bits)
+        m = np.uint64(num_bits)
+        h1m, h2m = _batch_hashes_mod(np, keys, num_bits)
+        buf = np.frombuffer(self._bits._buf, dtype=np.uint8)
+        passed = np.ones(len(keys), dtype=bool)
+        for i in range(self.num_probes):
+            # i * h2m < num_probes * num_bits, far below 2**64.
+            indices = (h1m + (np.uint64(i) * h2m) % m) % m
+            bits = buf[(indices >> np.uint64(3)).astype(np.int64)]
+            passed &= ((bits >> (indices & np.uint64(7)).astype(np.uint8))
+                       & np.uint8(1)).astype(bool)
+        return passed.tolist()
 
     def memory_bits(self) -> int:
         """Size of the bit array."""
@@ -125,41 +199,19 @@ class BloomFilterBuilder(FilterBuilder):
         decompose it as ``((h1 % m) + (i * (h2 % m)) % m) % m`` — the
         direct form would wrap ``h1 + i*h2`` at 2**64 and diverge.
         """
-        try:
-            import numpy as np
-        except ImportError:
+        np = _numpy()
+        if np is None or len(sorted_keys) < 32:
             return self.build(sorted_keys)
-        if len(sorted_keys) < 32:
-            return self.build(sorted_keys)
-
-        from repro.filters.hashing import _FNV_PRIME, fnv1a_64_init
 
         filt = BloomFilter.for_entries(len(sorted_keys), self.bits_per_key)
         num_bits = len(filt.bit_array)
         m = np.uint64(num_bits)
-        prime = np.uint64(_FNV_PRIME)
-        by_length = {}
-        for key in sorted_keys:
-            by_length.setdefault(len(key), []).append(key)
-        index_chunks = []
-        for length, group in by_length.items():
-            n = len(group)
-            h1 = np.full(n, fnv1a_64_init(0), dtype=np.uint64)
-            h2 = np.full(n, fnv1a_64_init(1), dtype=np.uint64)
-            if length:
-                columns = np.frombuffer(b"".join(group), dtype=np.uint8)
-                columns = columns.reshape(n, length).astype(np.uint64)
-                for col in range(length):
-                    byte = columns[:, col]
-                    h1 = (h1 ^ byte) * prime
-                    h2 = (h2 ^ byte) * prime
-            h2 = h2 | np.uint64(1)
-            h1m = h1 % m
-            h2m = h2 % m
-            for i in range(filt.num_probes):
-                # i * h2m < num_probes * num_bits, far below 2**64.
-                index_chunks.append((h1m + (np.uint64(i) * h2m) % m) % m)
-        indices = np.concatenate(index_chunks)
+        h1m, h2m = _batch_hashes_mod(np, sorted_keys, num_bits)
+        indices = np.concatenate([
+            # i * h2m < num_probes * num_bits, far below 2**64.
+            (h1m + (np.uint64(i) * h2m) % m) % m
+            for i in range(filt.num_probes)
+        ])
         byte_index = (indices >> np.uint64(3)).astype(np.int64)
         bit_in_byte = (indices & np.uint64(7)).astype(np.uint8)
         values = np.left_shift(np.ones_like(bit_in_byte), bit_in_byte)

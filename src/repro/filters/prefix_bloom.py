@@ -17,7 +17,7 @@ bytes at paper scale, 24 bits = 3 bytes at the default reproduction scale).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.filters.base import FilterBuilder, RangeFilter
@@ -76,6 +76,19 @@ class PrefixBloomFilter(RangeFilter):
         probe = key[: self.prefix_len] if len(key) >= self.prefix_len else key
         return self._bloom.may_contain(probe)
 
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Batched probes through the Bloom filter's vectorized path.
+
+        Goes through the inner filter's *public* batch query so its stats
+        advance by the same totals the scalar loop produces.
+        """
+        if self.whole_key_filtering:
+            return self._bloom.may_contain_many(keys)
+        prefix_len = self.prefix_len
+        probes = [key[:prefix_len] if len(key) >= prefix_len else key
+                  for key in keys]
+        return self._bloom.may_contain_many(probes)
+
     def _may_contain_range(self, low: bytes, high: bytes) -> bool:
         """Supported only for ranges within one ``l``-byte prefix.
 
@@ -88,6 +101,27 @@ class PrefixBloomFilter(RangeFilter):
         ):
             return self._bloom.may_contain(low[: self.prefix_len])
         return True
+
+    def _may_contain_range_many(
+            self, ranges: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Batch the same-prefix probes; spanning ranges pass untouched.
+
+        Only the ranges the scalar path would probe reach the Bloom
+        filter, so inner stats totals stay identical.
+        """
+        prefix_len = self.prefix_len
+        verdicts = [True] * len(ranges)
+        positions: List[int] = []
+        probes: List[bytes] = []
+        for i, (low, high) in enumerate(ranges):
+            if len(low) >= prefix_len and low[:prefix_len] == high[:prefix_len]:
+                positions.append(i)
+                probes.append(low[:prefix_len])
+        if probes:
+            for i, passed in zip(positions,
+                                 self._bloom.may_contain_many(probes)):
+                verdicts[i] = passed
+        return verdicts
 
     def memory_bits(self) -> int:
         """Size of the underlying Bloom filter."""

@@ -103,6 +103,27 @@ class BitVector:
         """Total number of set bits."""
         return self._ones
 
+    @property
+    def words(self) -> List[int]:
+        """The packed 64-bit payload words (LSB-first within a word).
+
+        Exposed (read-only by convention) so batched traversal cores can
+        bind the raw list to a local and inline bit tests without a
+        method call per probe.
+        """
+        return self._words
+
+    @property
+    def rank_directory(self) -> List[int]:
+        """Precomputed popcount directory: set bits *before* each word.
+
+        ``rank_directory[w] + popcount(words[w] & mask)`` is the whole of
+        ``rank1`` — de-virtualized cores (the LOUDS batch probe path)
+        consume these two lists directly instead of calling :meth:`rank1`
+        per node transition.
+        """
+        return self._rank_dir
+
     def get(self, index: int) -> bool:
         """Bit at ``index``."""
         if not 0 <= index < self._length:
@@ -152,9 +173,18 @@ class BitVector:
             word = self._words[word_index]
 
     def memory_bits(self) -> int:
-        """Approximate storage: payload + rank directory + select samples."""
+        """Approximate storage: payload + rank directory + select samples.
+
+        Directory entries are priced at the width actually needed to
+        address this vector — a cumulative count is at most ``ones`` and a
+        select sample is a position below ``length``, so both fit in
+        ``ceil(log2(length + 1))`` bits.  (They were previously charged a
+        flat 32 bits each, which overstated small vectors and would
+        understate vectors beyond 4 Gbit.)
+        """
+        entry_bits = max(1, self._length.bit_length())
         return (
             len(self._words) * _WORD_BITS
-            + len(self._rank_dir) * 32
-            + len(self._select_samples) * 32
+            + len(self._rank_dir) * entry_bits
+            + len(self._select_samples) * entry_bits
         )

@@ -59,6 +59,20 @@ class RosettaFilter(RangeFilter):
         value = self._check_width(key)
         return self._levels[-1].may_contain(self._encode(self.key_bits, value))
 
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Batch the bottom-level Bloom probes.
+
+        A wrong-width key falls back to the scalar loop so the
+        :class:`ConfigError` fires at the same key, after the same
+        earlier probes, as it would scalar.
+        """
+        try:
+            encoded = [self._encode(self.key_bits, self._check_width(key))
+                       for key in keys]
+        except ConfigError:
+            return super()._may_contain_many(keys)
+        return self._levels[-1].may_contain_many(encoded)
+
     def _may_contain_range(self, low: bytes, high: bytes) -> bool:
         lo = self._check_width(low)
         hi = self._check_width(high)

@@ -15,7 +15,7 @@ the range-descent attack sails through the range filter regardless.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.filters.base import FilterBuilder, RangeFilter
@@ -39,8 +39,17 @@ class SplitFilter(RangeFilter):
         # entire point of the mitigation.
         return self.point_filter.may_contain(key)
 
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        # Public batch call: the inner Bloom's stats advance exactly as
+        # the scalar loop's per-key may_contain calls would.
+        return self.point_filter.may_contain_many(keys)
+
     def _may_contain_range(self, low: bytes, high: bytes) -> bool:
         return self.range_filter.may_contain_range(low, high)
+
+    def _may_contain_range_many(
+            self, ranges: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        return self.range_filter.may_contain_range_many(list(ranges))
 
     def memory_bits(self) -> int:
         """Both structures — the doubled memory of section 11."""

@@ -29,7 +29,9 @@ from bisect import bisect_left
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
+from repro.filters.bitarray import popcount as _popcount
 from repro.filters.rank_select import BitVector
+from repro.filters.surf import cursor as _cursor
 from repro.filters.surf.cursor import Terminal, TerminalKind
 from repro.filters.surf.suffix import SuffixScheme
 from repro.filters.surf.trie import TrieBackend, TrieNode, build_pruned_trie
@@ -366,6 +368,156 @@ class LoudsBackend:
                 return found_label, (_SPARSE_LEAF, pos)
             return found_label, self._sparse_child_ref(pos)
         return None
+
+    # ------------------------------------------------------------ batch lookup
+
+    def lookup_many(self, keys: Sequence[bytes],
+                    scheme: SuffixScheme) -> List[bool]:
+        """De-virtualized batched point lookups.
+
+        Same algorithm as :func:`repro.filters.surf.cursor.lookup_many`
+        (sorted probes, shared-prefix path-stack resume) but with the
+        cursor protocol inlined: the structural bitmaps' packed words and
+        precomputed popcount directories are bound to locals, every
+        ``rank1``/``get`` becomes one index plus one popcount, and node
+        references live in two parallel int stacks instead of tuples.
+        The verdict vector is exactly the scalar loop's.
+        """
+        if self._empty:
+            return _cursor.lookup_many(self, list(keys), scheme)
+
+        # Locals-bound structure views (see BitVector.rank_directory).
+        dl_words = self._d_labels.words
+        dl_rank = self._d_labels.rank_directory
+        dh_words = self._d_haschild.words
+        dh_rank = self._d_haschild.rank_directory
+        dip_words = self._d_isprefix.words
+        dip_rank = self._d_isprefix.rank_directory
+        sh_words = self._s_haschild.words
+        sh_rank = self._s_haschild.rank_directory
+        sip_words = self._s_isprefix.words
+        sip_rank = self._s_isprefix.rank_directory
+        s_labels = self._s_labels
+        s_node_start = self._s_node_start
+        d_leaf_payloads = self._d_leaf_payloads
+        d_prefix_payloads = self._d_prefix_payloads
+        s_leaf_payloads = self._s_leaf_payloads
+        s_prefix_payloads = self._s_prefix_payloads
+        num_dense = self._num_dense
+        first_sparse_child = self._first_sparse_child
+        matches = scheme.matcher()
+        popcount = _popcount
+        bisect = bisect_left
+
+        n = len(keys)
+        verdicts = [False] * n
+        root_kind = _DENSE_NODE if num_dense else _SPARSE_NODE
+        kinds = [root_kind]
+        idxs = [0]
+        prev = b""
+        prev_len = 0
+        top = 0  # == len(kinds) - 1, maintained across keys
+        for i in sorted(range(n), key=keys.__getitem__):
+            key = keys[i]
+            key_len = len(key)
+            # Resume depth: lcp(prev, key) clamped to the depth actually
+            # reached for ``prev`` (== top), computed without a full lcp
+            # when the clamped windows already match.
+            limit = prev_len if prev_len < key_len else key_len
+            if limit > top:
+                limit = top
+            if prev[:limit] == key[:limit]:
+                depth = limit
+            else:
+                depth = 0
+                while prev[depth] == key[depth]:
+                    depth += 1
+            if depth < top:
+                del kinds[depth + 1:]
+                del idxs[depth + 1:]
+            kind = kinds[depth]
+            index = idxs[depth]
+            verdict = False
+            while True:
+                if kind == _DENSE_NODE:
+                    if depth == key_len:
+                        if (dip_words[index >> 6] >> (index & 63)) & 1:
+                            p1 = index + 1
+                            w, o = p1 >> 6, p1 & 63
+                            r = dip_rank[w]
+                            if o:
+                                r += popcount(dip_words[w] & ((1 << o) - 1))
+                            verdict = matches(key, depth,
+                                              d_prefix_payloads[r - 1])
+                        break
+                    pos = (index << 8) | key[depth]
+                    if not (dl_words[pos >> 6] >> (pos & 63)) & 1:
+                        break
+                    if (dh_words[pos >> 6] >> (pos & 63)) & 1:
+                        p1 = pos + 1
+                        w, o = p1 >> 6, p1 & 63
+                        r = dh_rank[w]
+                        if o:
+                            r += popcount(dh_words[w] & ((1 << o) - 1))
+                        if r < num_dense:
+                            kind, index = _DENSE_NODE, r
+                        else:
+                            kind, index = _SPARSE_NODE, r - num_dense
+                    else:
+                        kind, index = _DENSE_LEAF, pos
+                elif kind == _SPARSE_NODE:
+                    if depth == key_len:
+                        if (sip_words[index >> 6] >> (index & 63)) & 1:
+                            p1 = index + 1
+                            w, o = p1 >> 6, p1 & 63
+                            r = sip_rank[w]
+                            if o:
+                                r += popcount(sip_words[w] & ((1 << o) - 1))
+                            verdict = matches(key, depth,
+                                              s_prefix_payloads[r - 1])
+                        break
+                    start = s_node_start[index]
+                    end = s_node_start[index + 1]
+                    pos = bisect(s_labels, key[depth], start, end)
+                    if pos == end or s_labels[pos] != key[depth]:
+                        break
+                    if (sh_words[pos >> 6] >> (pos & 63)) & 1:
+                        p1 = pos + 1
+                        w, o = p1 >> 6, p1 & 63
+                        r = sh_rank[w]
+                        if o:
+                            r += popcount(sh_words[w] & ((1 << o) - 1))
+                        kind, index = _SPARSE_NODE, first_sparse_child + r - 1
+                    else:
+                        kind, index = _SPARSE_LEAF, pos
+                elif kind == _DENSE_LEAF:
+                    p1 = index + 1
+                    w, o = p1 >> 6, p1 & 63
+                    rl = dl_rank[w]
+                    rh = dh_rank[w]
+                    if o:
+                        mask = (1 << o) - 1
+                        rl += popcount(dl_words[w] & mask)
+                        rh += popcount(dh_words[w] & mask)
+                    verdict = matches(key, depth,
+                                      d_leaf_payloads[rl - rh - 1])
+                    break
+                else:  # _SPARSE_LEAF
+                    p1 = index + 1
+                    w, o = p1 >> 6, p1 & 63
+                    rh = sh_rank[w]
+                    if o:
+                        rh += popcount(sh_words[w] & ((1 << o) - 1))
+                    verdict = matches(key, depth, s_leaf_payloads[p1 - rh - 1])
+                    break
+                depth += 1
+                kinds.append(kind)
+                idxs.append(index)
+            verdicts[i] = verdict
+            prev = key
+            prev_len = key_len
+            top = depth
+        return verdicts
 
     # --------------------------------------------------------------- internals
 

@@ -74,6 +74,37 @@ class SuffixScheme:
             return suffix_hash_bits(query, self.num_bits) == payload
         return real_suffix_bits(query, depth, self.num_bits) == payload
 
+    def matcher(self):
+        """Specialized ``(query, depth, payload) -> bool`` for hot loops.
+
+        Same decisions as :meth:`matches` with the per-call variant
+        dispatch hoisted out; the one-byte-window case (suffix bits <= 8,
+        the standard configuration) avoids slicing entirely.  Batch
+        lookups bind this once per batch.
+        """
+        if self.variant is SurfVariant.BASE:
+            return lambda query, depth, payload: True
+        num_bits = self.num_bits
+        if self.variant is SurfVariant.HASH:
+            return (lambda query, depth, payload:
+                    suffix_hash_bits(query, num_bits) == payload)
+        num_bytes = (num_bits + 7) // 8
+        shift = 8 * num_bytes - num_bits
+        if num_bytes == 1:
+            return (lambda query, depth, payload:
+                    ((query[depth] >> shift) if depth < len(query) else 0)
+                    == payload)
+        pad = b"\x00" * num_bytes
+        from_bytes = int.from_bytes
+
+        def real_matches(query: bytes, depth: int, payload: int) -> bool:
+            chunk = query[depth:depth + num_bytes]
+            if len(chunk) < num_bytes:
+                chunk = chunk + pad[:num_bytes - len(chunk)]
+            return (from_bytes(chunk, "big") >> shift) == payload
+
+        return real_matches
+
     @property
     def label(self) -> str:
         """Short label for filter names and bench tables."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.common.errors import ConfigError
 from repro.filters.base import FilterBuilder, RangeFilter
@@ -60,6 +60,19 @@ class SuRF(RangeFilter):
 
     def _may_contain(self, key: bytes) -> bool:
         return cursor.lookup(self._backend, key, self.scheme)
+
+    def _may_contain_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Sorted batch with shared-prefix cursor reuse.
+
+        The LOUDS backend supplies a de-virtualized traversal core; other
+        backends go through the generic cursor-protocol version.  Both
+        return exactly the scalar loop's verdicts.
+        """
+        keys = list(keys)
+        backend_batch = getattr(self._backend, "lookup_many", None)
+        if backend_batch is not None:
+            return backend_batch(keys, self.scheme)
+        return cursor.lookup_many(self._backend, keys, self.scheme)
 
     def _may_contain_range(self, low: bytes, high: bytes) -> bool:
         return cursor.may_contain_range(self._backend, low, high)

@@ -156,6 +156,62 @@ class TrieBackend:
         found = labels[lo]
         return found, node.children[found]
 
+    # ------------------------------------------------------------ batch lookup
+
+    def lookup_many(self, keys: Sequence[bytes],
+                    scheme: SuffixScheme) -> List[bool]:
+        """De-virtualized batched point lookups over the dict trie.
+
+        Same algorithm as :func:`repro.filters.surf.cursor.lookup_many`
+        (sorted probes, shared-prefix path-stack resume) with the cursor
+        protocol inlined to direct ``children.get``/``terminal``
+        attribute access.  Verdicts are exactly the scalar loop's.
+        """
+        n = len(keys)
+        verdicts = [False] * n
+        matches = scheme.matcher()
+        leaf_kind = TerminalKind.LEAF
+        nodes = [self._root]
+        prev = b""
+        prev_len = 0
+        top = 0  # == len(nodes) - 1, maintained across keys
+        for i in sorted(range(n), key=keys.__getitem__):
+            key = keys[i]
+            key_len = len(key)
+            limit = prev_len if prev_len < key_len else key_len
+            if limit > top:
+                limit = top
+            if prev[:limit] == key[:limit]:
+                depth = limit
+            else:
+                depth = 0
+                while prev[depth] == key[depth]:
+                    depth += 1
+            if depth < top:
+                del nodes[depth + 1:]
+            node = nodes[depth]
+            verdict = False
+            while True:
+                term = node.terminal
+                if depth == key_len:
+                    verdict = (term is not None
+                               and matches(key, depth, term.payload))
+                    break
+                if term is not None and term.kind is leaf_kind:
+                    verdict = matches(key, depth, term.payload)
+                    break
+                nxt = node.children.get(key[depth])
+                if nxt is None:
+                    break
+                node = nxt
+                depth += 1
+                nodes.append(node)
+            verdicts[i] = verdict
+            prev = key
+            prev_len = key_len
+            top = depth
+        return verdicts
+
     # ------------------------------------------------------------------ sizing
 
     def memory_bits(self, suffix_bits: int) -> int:

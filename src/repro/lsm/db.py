@@ -15,7 +15,7 @@ siphoning exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import (
     ConfigError,
@@ -63,6 +63,42 @@ class DBStats:
     def filter_positives(self) -> int:
         """Filter checks that passed (true or false positives)."""
         return self.filter_checks - self.filter_negatives
+
+
+class ProbePlan:
+    """Memoized pure filter verdicts for one batch of point queries.
+
+    Built by the :meth:`LSMTree.probe_plan` prepass, which batches the
+    probes per filter (vectorized Bloom hashing, shared-prefix LOUDS
+    traversal) *without* touching stats, clock, or RNG.  The replay —
+    the ordinary per-key search loop — then substitutes a dictionary
+    lookup for each scalar ``may_contain`` call and records stats only
+    for verdicts it actually consumes, so simulated time, verdicts and
+    every counter are bit-identical with the plan on or off.  A missing
+    entry (``None``) means "compute scalar", never "False".
+    """
+
+    __slots__ = ("_verdicts", "candidates")
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[int, Dict[bytes, bool]] = {}
+        #: key -> tuple of candidate SSTables, memoized by the prepass so
+        #: the replay need not repeat the version walk.  Valid for the
+        #: batch only: the version cannot change under a read-only batch.
+        self.candidates: Dict[bytes, tuple] = {}
+
+    def add(self, filt, keys: List[bytes], verdicts: List[bool]) -> None:
+        """Memoize ``filt``'s pure verdicts for ``keys``."""
+        table = self._verdicts.setdefault(id(filt), {})
+        for key, verdict in zip(keys, verdicts):
+            table[key] = verdict
+
+    def lookup(self, filt, key: bytes) -> Optional[bool]:
+        """Memoized verdict, or None when the prepass did not cover it."""
+        table = self._verdicts.get(id(filt))
+        if table is None:
+            return None
+        return table.get(key)
 
 
 class LSMTree:
@@ -530,7 +566,55 @@ class LSMTree:
             value = self.get(key)
         return value, stopwatch.elapsed_us
 
-    def getter(self):
+    def probe_plan(self, keys: Iterable[bytes],
+                   include_memtable_hits: bool = False
+                   ) -> Optional[ProbePlan]:
+        """Pure batched-probe prepass for a batch of point queries.
+
+        Collects, per filter on the batch's search paths, the unique keys
+        the scalar loop could probe it with, and computes their verdicts
+        through each filter's batch probe (:meth:`Filter.probe_many` —
+        vectorized Bloom hashing, shared-prefix LOUDS traversal).  Touches
+        no stats, clock, or RNG: the verdicts are memoized for the replay
+        to consume in the scalar path's own order.  Keys currently in the
+        memtable are skipped (their gets never reach a filter) unless
+        ``include_memtable_hits`` — :meth:`filters_pass_many` probes
+        filters regardless of the memtable.
+
+        Returns None when the engine is disabled or nothing needs probing.
+        """
+        if not self.options.probe_engine:
+            return None
+        memtable_get = self._memtable.get
+        candidates_for_key = self._version.candidates_for_key
+        groups: Dict[int, Tuple[object, List[bytes]]] = {}
+        key_candidates: Dict[bytes, tuple] = {}
+        seen = set()
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            if not include_memtable_hits and memtable_get(key) is not None:
+                continue
+            tables = tuple(candidates_for_key(key))
+            key_candidates[key] = tables
+            for table in tables:
+                filt = table.filter
+                if filt is None:
+                    continue
+                entry = groups.get(id(filt))
+                if entry is None:
+                    groups[id(filt)] = entry = (filt, [])
+                entry[1].append(key)
+        if not groups:
+            return None
+        plan = ProbePlan()
+        plan.candidates = key_candidates
+        for filt, filt_keys in groups.values():
+            plan.add(filt, filt_keys, filt.probe_many(filt_keys))
+        return plan
+
+    def getter(self, plan: Optional[ProbePlan] = None):
         """Fast-path point-read closure for batch callers.
 
         Returns a ``key -> Optional[bytes]`` callable observationally
@@ -538,6 +622,11 @@ class LSMTree:
         same RNG streams, same stats — with the per-call attribute lookups
         hoisted out of the loop.  The attack loops issue 10^5-10^6 gets per
         experiment; this is where that Python overhead is amortized.
+
+        With a :class:`ProbePlan`, filter verdicts come from the prepass's
+        memo (falling back to the scalar probe for uncovered keys); the
+        consumed verdicts are recorded into the filter's stats exactly as
+        ``may_contain`` would have.
         """
         self._check_open()
         costs = self.options.costs
@@ -549,6 +638,9 @@ class LSMTree:
         jitter = costs.jitter
         gauss = self._cost_rng.gauss
         clock_charge = self.clock.charge
+        plan_lookup = plan.lookup if plan is not None else None
+        plan_candidates = (plan.candidates.get if plan is not None
+                           else lambda _key: None)
 
         def get_one(key: bytes) -> Optional[bytes]:
             stats.gets += 1
@@ -561,7 +653,10 @@ class LSMTree:
             if entry is not None:
                 stats.memtable_hits += 1
                 return entry.value
-            for table in candidates_for_key(key):
+            tables = plan_candidates(key)
+            if tables is None:
+                tables = candidates_for_key(key)
+            for table in tables:
                 filt = table.filter
                 if filt is not None:
                     stats.filter_checks += 1
@@ -569,7 +664,15 @@ class LSMTree:
                         clock_charge(filter_cost * max(0.1, gauss(1.0, jitter)))
                     else:
                         clock_charge(filter_cost)
-                    if not filt.may_contain(key):
+                    if plan_lookup is not None:
+                        passed = plan_lookup(filt, key)
+                        if passed is None:
+                            passed = filt.may_contain(key)
+                        else:
+                            filt.stats.record_point(passed)
+                    else:
+                        passed = filt.may_contain(key)
+                    if not passed:
                         stats.filter_negatives += 1
                         continue
                 stats.table_reads += 1
@@ -584,15 +687,19 @@ class LSMTree:
         """Batch point query: ``[self.get(k) for k in keys]``, amortized.
 
         Identical simulated-time behaviour to the equivalent ``get`` loop
-        (the batch API only removes real-world Python overhead).
+        (the batch API only removes real-world Python overhead; the
+        probe-engine prepass is pure and the replay preserves every
+        charge, draw, and counter).
         """
-        get_one = self.getter()
+        keys = list(keys)
+        get_one = self.getter(self.probe_plan(keys))
         return [get_one(key) for key in keys]
 
     def get_many_timed(self, keys: Iterable[bytes]
                        ) -> List[Tuple[Optional[bytes], float]]:
         """Batch ``get_timed``: per-key (value, simulated elapsed us)."""
-        get_one = self.getter()
+        keys = list(keys)
+        get_one = self.getter(self.probe_plan(keys))
         clock = self.clock
         out: List[Tuple[Optional[bytes], float]] = []
         append = out.append
@@ -692,6 +799,48 @@ class LSMTree:
             if table.filter is None or table.filter.may_contain(key):
                 return True
         return False
+
+    def filters_pass_many(self, keys: Iterable[bytes]) -> List[bool]:
+        """Batch :meth:`filters_pass`: one batched probe per filter.
+
+        Exactly ``[self.filters_pass(k) for k in keys]`` — same verdicts,
+        same short-circuit filter-stats accounting (a key's later filters
+        are not probed, and not recorded, once one passes).  Unlike the
+        get path this ignores the memtable, so the prepass covers every
+        key.
+        """
+        self._check_open()
+        keys = list(keys)
+        plan = self.probe_plan(keys, include_memtable_hits=True)
+        candidates_for_key = self._version.candidates_for_key
+        plan_lookup = plan.lookup if plan is not None else None
+        plan_candidates = (plan.candidates.get if plan is not None
+                           else lambda _key: None)
+        out: List[bool] = []
+        append = out.append
+        for key in keys:
+            passed_any = False
+            tables = plan_candidates(key)
+            if tables is None:
+                tables = candidates_for_key(key)
+            for table in tables:
+                filt = table.filter
+                if filt is None:
+                    passed_any = True
+                    break
+                if plan_lookup is not None:
+                    passed = plan_lookup(filt, key)
+                    if passed is None:
+                        passed = filt.may_contain(key)
+                    else:
+                        filt.stats.record_point(passed)
+                else:
+                    passed = filt.may_contain(key)
+                if passed:
+                    passed_any = True
+                    break
+            append(passed_any)
+        return out
 
     def range_filters_pass(self, low: bytes, high: bytes) -> bool:
         """Ground-truth range-filter decision for ``[low, high]``.

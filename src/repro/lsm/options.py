@@ -82,6 +82,15 @@ class LSMOptions:
     #: baseline).  Output bytes, file numbering and simulated costs are
     #: identical for every value >= 1 (see DESIGN.md section 9).
     build_threads: int = 1
+    #: Batched filter-probe engine for ``get_many``/``get_many_timed``/
+    #: ``filters_pass_many``: a pure prepass computes every candidate
+    #: table's filter verdict with the vectorized/shared-prefix batch
+    #: probes, then the scalar per-key control flow replays against the
+    #: memoized verdicts.  Simulated time, filter verdicts and stats are
+    #: bit-identical on and off (see DESIGN.md section 10); ``False``
+    #: selects the pre-engine scalar probes (kept as the equivalence and
+    #: benchmark baseline, mirroring ``build_threads=0``).
+    probe_engine: bool = True
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
 

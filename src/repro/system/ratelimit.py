@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
+from repro.lsm.db import ProbePlan
 from repro.system.responses import Response
 from repro.system.service import KVService
 
@@ -150,14 +151,15 @@ class RateLimitedService:
         self._admit(user)
         return self.service.get_timed(user, key)
 
-    def getter(self, user: int) -> Callable[[bytes], Response]:
+    def getter(self, user: int, plan: Optional[ProbePlan] = None
+               ) -> Callable[[bytes], Response]:
         """Fast-path closure that still pays admission per request.
 
         Every call goes through the token bucket first — the batch API
         must not become a rate-limit bypass.
         """
         admit = self._admit
-        get_one = self.service.getter(user)
+        get_one = self.service.getter(user, plan)
 
         def get_admitted(key: bytes) -> Response:
             admit(user)
@@ -167,14 +169,16 @@ class RateLimitedService:
 
     def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
         """Throttled batch read (admission charged per key)."""
-        get_one = self.getter(user)
+        keys = list(keys)
+        get_one = self.getter(user, self.db.probe_plan(keys))
         return [get_one(key) for key in keys]
 
     def get_many_timed(self, user: int, keys: Sequence[bytes]
                        ) -> List[Tuple[Response, float]]:
         """Throttled batch ``get_timed`` (stalls excluded, as in get_timed)."""
+        keys = list(keys)
         admit = self._admit
-        get_one = self.service.getter(user)
+        get_one = self.service.getter(user, self.db.probe_plan(keys))
         clock = self.db.clock
         out: List[Tuple[Response, float]] = []
         append = out.append

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ServiceError
-from repro.lsm.db import LSMTree
+from repro.lsm.db import LSMTree, ProbePlan
 from repro.system.acl import Acl, pack_value, unpack_value
 from repro.system.responses import Response, Status
 
@@ -160,17 +160,20 @@ class KVService:
             response = self.get(user, key)
         return response, stopwatch.elapsed_us
 
-    def getter(self, user: int) -> Callable[[bytes], Response]:
+    def getter(self, user: int, plan: Optional[ProbePlan] = None
+               ) -> Callable[[bytes], Response]:
         """Fast-path request closure for batch callers.
 
         Returns a ``key -> Response`` callable observationally equivalent
         to :meth:`get` (same charges, same stats, same RNG draws) with the
         per-request attribute lookups hoisted.  This is the single point
         the batch APIs (:meth:`get_many`, :meth:`get_many_timed`) and the
-        attack oracles' probe fast path build on.
+        attack oracles' probe fast path build on.  ``plan`` is an optional
+        :class:`~repro.lsm.db.ProbePlan` from the store's batched-probe
+        prepass; it changes wall-clock only, never the simulated trace.
         """
         db = self.db
-        db_get = db.getter()
+        db_get = db.getter(plan)
         record = self.stats.record
         charge = db.charge_cost
         not_found_status = self._failure(Status.NOT_FOUND)
@@ -194,7 +197,8 @@ class KVService:
 
     def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
         """Batch read: ``[self.get(user, k) for k in keys]``, amortized."""
-        get_one = self.getter(user)
+        keys = list(keys)
+        get_one = self.getter(user, self.db.probe_plan(keys))
         return [get_one(key) for key in keys]
 
     def get_many_timed(self, user: int, keys: Sequence[bytes]
@@ -203,9 +207,12 @@ class KVService:
 
         The per-key times are identical to what a loop of
         :meth:`get_timed` calls would observe; only the wall-clock cost of
-        issuing 10^5-10^6 attack queries drops.
+        issuing 10^5-10^6 attack queries drops.  The batched filter-probe
+        prepass runs before the first request is dispatched — it is pure,
+        so the per-key charges and RNG draws are untouched.
         """
-        get_one = self.getter(user)
+        keys = list(keys)
+        get_one = self.getter(user, self.db.probe_plan(keys))
         clock = self.db.clock
         out: List[Tuple[Response, float]] = []
         append = out.append
