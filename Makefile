@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke torture clean
+.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke async-smoke torture clean
 
 check: test test39
 
@@ -43,6 +43,15 @@ ingest-smoke:
 probe-smoke:
 	REPRO_PROBE_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_filter_probe.py -q --benchmark-disable
+
+# Small-N run of the asyncio scale + defense bench: asserts the event
+# loop really holds every connection, the defense flags the attacker
+# fleet (throttle escalates, noise injects), and benign zipf traffic is
+# never flagged — without the full-size runs, and without touching the
+# committed results files.
+async-smoke:
+	REPRO_ASYNC_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_server_async.py -q --benchmark-disable
 
 # One real TCP round trip through the wire-protocol server: build a small
 # store, serve it, ping + get + stats from a client, shut down cleanly.

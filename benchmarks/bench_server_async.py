@@ -1,0 +1,66 @@
+"""Bench: asyncio serving core at scale + online siphoning defense.
+
+Writes ``results/BENCH_server_async.{txt,json}``.  ``REPRO_ASYNC_SMOKE=1``
+shrinks everything for the CI smoke step: the structural assertions
+(connections held, defense flags the fleet, benign never flagged) still
+run, the rate-degradation bars do not (tiny attacks are all noise), and
+the committed results file is left untouched.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.bench.experiments import exp_server_async
+
+SMOKE = bool(os.environ.get("REPRO_ASYNC_SMOKE"))
+
+
+def test_server_async_report(benchmark):
+    if SMOKE:
+        report = benchmark.pedantic(
+            lambda: exp_server_async.run(
+                num_keys=800, candidates=400, learn_samples=1_000,
+                scale_connections=150, scale_benign_requests=600,
+                benign_clients=4, defense_benign_requests=600,
+                attackers=2),
+            rounds=1, iterations=1)
+    else:
+        report = benchmark.pedantic(exp_server_async.run,
+                                    rounds=1, iterations=1)
+        emit(report)
+    summary = report.summary
+    rows = {r.get("mode", r.get("phase")): r for r in report.rows}
+
+    # Scale: every held connection was really served by one event loop.
+    scale = rows["scale"]
+    assert scale["pings_ok"] == scale["connections_held"]
+    assert summary["peak_connections"] >= scale["connections_held"]
+    # Benign zipf traffic flows at every defense level and is never
+    # flagged — misses from the 5% miss mix stay far below the detector
+    # thresholds.
+    for mode in ("off", "throttle", "noise"):
+        assert rows[mode]["benign_ok"] > 0
+    assert summary["benign_flagged"] == 0
+
+    # The defense sees the fleet: every attacker user ends up flagged,
+    # throttle escalates each one, noise injects perturbation.
+    assert rows["throttle"]["flagged_users"] >= 2
+    assert rows["throttle"]["throttle_escalations"] >= 2
+    assert rows["throttle"]["attacker_stalled"] > 0
+    assert rows["noise"]["noise_injections"] > 0
+
+    if not SMOKE:
+        # Acceptance bars (full scale only): the tentpole's ≥1000
+        # concurrent connections, and measurable extraction-rate
+        # degradation with bounded benign collateral.
+        assert summary["peak_connections"] >= 1_000
+        assert summary["off_keys_extracted"] >= 1
+        # Throttle: same side channel, exploded simulated duration.
+        assert summary["throttle_time_rate_ratio"] < 0.5
+        # Noise: the timing channel drowns — keys per query collapse.
+        assert summary["noise_query_rate_ratio"] < 0.5
+        # Benign collateral is bounded: zipf throughput under an armed
+        # defense stays within 2.5x of the undefended run.
+        assert summary["throttle_benign_rps_ratio"] > 0.4
+        assert summary["noise_benign_rps_ratio"] > 0.4

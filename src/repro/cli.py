@@ -144,7 +144,8 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.server import KVWireServer, ServerConfig, connect
+    from repro.server import AsyncKVWireServer, KVWireServer, ServerConfig, connect
+    from repro.system.defense import DefensePolicy, build_defended_service
     from repro.system.ratelimit import RateLimitPolicy, RateLimitedService
     from repro.workloads import ATTACKER_USER, DatasetConfig, build_environment
 
@@ -159,12 +160,21 @@ def _cmd_serve(args) -> int:
         service = RateLimitedService(
             env.service, RateLimitPolicy(requests_per_second=args.rate_limit,
                                          burst=args.burst))
-    server = KVWireServer(service, ServerConfig(
+    if args.defense != "off":
+        service = build_defended_service(service, policy=DefensePolicy(
+            mode=args.defense, check_every=args.check_every,
+            penalty=RateLimitPolicy(requests_per_second=args.penalty_rate,
+                                    burst=args.penalty_burst),
+            noise_max_us=args.noise_max_us))
+        print(f"online defense: {args.defense}", flush=True)
+    server_cls = AsyncKVWireServer if args.use_async else KVWireServer
+    server = server_cls(service, ServerConfig(
         host=args.host, port=args.port, backlog=args.backlog,
         workers=args.workers), background=env.background)
     server.start()
     host, port = server.address
-    print(f"listening on {host}:{port}", flush=True)
+    core = "asyncio" if args.use_async else "threaded"
+    print(f"listening on {host}:{port} ({core} core)", flush=True)
 
     if args.smoke:
         # One real TCP round trip of each basic frame, then exit cleanly:
@@ -342,6 +352,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="per-user requests/second (0 = unlimited)")
     serve.add_argument("--burst", type=int, default=32,
                        help="rate-limit token-bucket burst (default 32)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="asyncio core: coroutines instead of worker "
+                            "threads, thousands of concurrent connections")
+    serve.add_argument("--defense", default="off",
+                       choices=("off", "observe", "throttle", "noise"),
+                       help="online siphoning defense mode (default off)")
+    serve.add_argument("--check-every", type=int, default=64,
+                       help="defense: observations between verdict "
+                            "re-scores per user (default 64)")
+    serve.add_argument("--penalty-rate", type=float, default=50.0,
+                       help="defense throttle: flagged-user requests/second "
+                            "(default 50)")
+    serve.add_argument("--penalty-burst", type=int, default=4,
+                       help="defense throttle: flagged-user burst (default 4)")
+    serve.add_argument("--noise-max-us", type=float, default=400.0,
+                       help="defense noise: max injected delay per negative "
+                            "lookup, simulated us (default 400)")
     serve.add_argument("--smoke", action="store_true",
                        help="serve, run one client round trip, exit")
 

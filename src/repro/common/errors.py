@@ -83,6 +83,16 @@ class VersionMismatchError(ProtocolError):
     """Peer speaks a different wire-protocol version."""
 
 
+class OrderTimeoutError(ProtocolError):
+    """An ordered frame waited past the gate timeout for its turn.
+
+    Raised by the servers' ordered gates when a frame's predecessors never
+    complete (a stalled peer, or a stream evicted under churn).  A typed
+    subclass so dispatch can map it to ``ErrorCode.ORDER_TIMEOUT`` without
+    sniffing message substrings.
+    """
+
+
 class TransportError(ReproError):
     """Connection-level failure (closed socket, timeout, refused dial)."""
 

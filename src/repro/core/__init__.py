@@ -23,9 +23,12 @@ from repro.core.learning import (
 )
 from repro.core.oracle import FineTimingOracle, IdealizedOracle, QueryOracle, TimingOracle
 from repro.core.parallel import (
+    FleetMemberOutcome,
+    FleetOutcome,
     ParallelAttackOutcome,
     ParallelPrefixSiphoningAttack,
     ParallelTimingOracle,
+    run_attacker_fleet,
     run_parallel_surf_attack,
 )
 from repro.core.pbf_attack import PbfAttackStrategy, PrefixLengthScan
@@ -57,6 +60,8 @@ __all__ = [
     "BruteForceResult",
     "ExtensionResult",
     "ExtractedKey",
+    "FleetMemberOutcome",
+    "FleetOutcome",
     "HashConstraint",
     "IdealizedOracle",
     "LearningResult",
@@ -90,6 +95,7 @@ __all__ = [
     "VariableExtensionResult",
     "learn_cutoff",
     "learn_fine_cutoff",
+    "run_attacker_fleet",
     "run_parallel_surf_attack",
     "FineTimingOracle",
     "FINE_BUCKET_WIDTH_US",

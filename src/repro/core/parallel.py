@@ -277,6 +277,99 @@ class ParallelAttackOutcome:
     wall_seconds: float
 
 
+@dataclass
+class FleetMemberOutcome:
+    """One fleet member's attack, as its own service user."""
+
+    user: int
+    result: AttackResult
+    wall_seconds: float
+
+
+@dataclass
+class FleetOutcome:
+    """An attacker fleet run: per-member results plus fleet totals."""
+
+    members: List[FleetMemberOutcome]
+    wall_seconds: float
+
+    @property
+    def total_extracted(self) -> int:
+        """Distinct keys extracted across the fleet."""
+        keys = set()
+        for member in self.members:
+            keys.update(e.key for e in member.result.extracted)
+        return len(keys)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(m.result.total_queries for m in self.members)
+
+
+def run_attacker_fleet(dial, num_attackers: int, key_width: int,
+                       filter_scheme, cutoff_us: float,
+                       config: Optional[AttackConfig] = None,
+                       seed: int = 0, rounds: int = 2,
+                       wait_us: Optional[float] = None,
+                       mode: str = "truncate",
+                       chunk_size: int = 64, batch_limit: int = 64,
+                       base_user: int = 666) -> FleetOutcome:
+    """Concurrent independent attackers, each its own user and connection.
+
+    The defense-bench adversary: ``num_attackers`` clients run the full
+    three-step attack simultaneously against one served store, each under
+    a distinct user id (``base_user + i``, defaulting to the canonical
+    ATTACKER_USER) so per-client detector verdicts and per-user throttle
+    escalation act on each member independently.  The learned cutoff is
+    shared (learning is a quiet-server calibration; pass the value from
+    :func:`~repro.core.learning.learn_cutoff`), and seeds differ per
+    member so the fleet explores different candidate prefixes.
+
+    ``dial`` is a zero-argument connection factory (e.g. a loopback
+    transport's ``dial``); each member owns one connection for its
+    lifetime, so fleet-wide concurrency is ``num_attackers`` connections.
+    """
+    from repro.core.surf_attack import SurfAttackStrategy
+
+    if num_attackers < 1:
+        raise ConfigError("fleet needs at least one attacker")
+    started = time.perf_counter()
+    members: List[Optional[FleetMemberOutcome]] = [None] * num_attackers
+    errors: List[BaseException] = []
+
+    def run_member(index: int) -> None:
+        member_started = time.perf_counter()
+        pool = ConnectionPool(dial, 1)
+        try:
+            oracle = ParallelTimingOracle(
+                pool, base_user + index, cutoff_us=cutoff_us, rounds=rounds,
+                wait_us=wait_us, batch_limit=batch_limit)
+            strategy = SurfAttackStrategy(key_width, filter_scheme,
+                                          mode=mode, seed=seed + index)
+            attack = ParallelPrefixSiphoningAttack(
+                oracle, strategy, config or AttackConfig(key_width=key_width),
+                chunk_size=chunk_size)
+            result = attack.run()
+            members[index] = FleetMemberOutcome(
+                user=base_user + index, result=result,
+                wall_seconds=time.perf_counter() - member_started)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+        finally:
+            pool.close()
+
+    threads = [threading.Thread(target=run_member, args=(i,), daemon=True)
+               for i in range(num_attackers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return FleetOutcome(members=[m for m in members if m is not None],
+                        wall_seconds=time.perf_counter() - started)
+
+
 def run_parallel_surf_attack(pool: ConnectionPool, attacker_user: int,
                              key_width: int, filter_scheme,
                              config: Optional[AttackConfig] = None,

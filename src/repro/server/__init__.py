@@ -8,6 +8,11 @@ loopback transport in front of it.  Wall-clock concurrency lives here;
 the timing side channel stays in SimClock charges (DESIGN.md section 7).
 """
 
+from repro.server.aio import (
+    AsyncKVWireServer,
+    AsyncLoopbackTransport,
+    AsyncOrderedGate,
+)
 from repro.server.client import (
     ConnectionPool,
     RemoteBackground,
@@ -29,6 +34,9 @@ from repro.server.protocol import (
 from repro.server.tcp import KVWireServer, ServerConfig
 
 __all__ = [
+    "AsyncKVWireServer",
+    "AsyncLoopbackTransport",
+    "AsyncOrderedGate",
     "ConnectionPool",
     "FLAG_ORDERED",
     "FLAG_RESPONSE",

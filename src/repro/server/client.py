@@ -67,6 +67,10 @@ class ServerStats:
     eviction_wait_us: float
     stalled_requests: int
     total_stall_us: float
+    #: Online-defense decision counters (zero without a defense layer).
+    flagged_users: int = 0
+    throttle_escalations: int = 0
+    noise_injections: int = 0
 
 
 class WireConnection:

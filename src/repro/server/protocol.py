@@ -33,7 +33,8 @@ from repro.common.errors import ProtocolError, VersionMismatchError
 from repro.system.responses import Response, Status
 
 MAGIC = b"PS"
-PROTOCOL_VERSION = 1
+#: v2 widened the STATS payload with the defense decision counters.
+PROTOCOL_VERSION = 2
 
 #: Hard cap on a single key (the length field is 16-bit).
 MAX_KEY_BYTES = 0xFFFF
@@ -58,7 +59,7 @@ _PUT_PREFIX = struct.Struct("!QBH")
 _PUT_MANY_PREFIX = struct.Struct("!QBI")
 _PUT_MANY_RESPONSE = struct.Struct("!Id")
 _RESULT_PREFIX = struct.Struct("!BdB")
-_STATS = struct.Struct("!dQQQQdQd")
+_STATS = struct.Struct("!dQQQQdQdQQQ")
 
 #: PUT/PUT_MANY request flag: store the object world-readable.
 PUT_FLAG_PUBLIC_READ = 0x01
@@ -441,7 +442,11 @@ def decode_get_many_response(payload: bytes) -> List[Tuple[Response, float]]:
 
 @dataclass(frozen=True)
 class StatsSnapshot:
-    """Server-side counters exposed over the wire (STATS response)."""
+    """Server-side counters exposed over the wire (STATS response).
+
+    The last three fields are the online-defense decision counters
+    (DESIGN.md §11); servers without a defense layer report zeros.
+    """
 
     sim_now_us: float
     requests: int
@@ -451,6 +456,9 @@ class StatsSnapshot:
     eviction_wait_us: float
     stalled_requests: int
     total_stall_us: float
+    flagged_users: int = 0
+    throttle_escalations: int = 0
+    noise_injections: int = 0
 
 
 def encode_stats_response(stats: StatsSnapshot) -> bytes:
@@ -458,7 +466,8 @@ def encode_stats_response(stats: StatsSnapshot) -> bytes:
     return _STATS.pack(stats.sim_now_us, stats.requests, stats.ok,
                        stats.not_found, stats.unauthorized,
                        stats.eviction_wait_us, stats.stalled_requests,
-                       stats.total_stall_us)
+                       stats.total_stall_us, stats.flagged_users,
+                       stats.throttle_escalations, stats.noise_injections)
 
 
 def decode_stats_response(payload: bytes) -> StatsSnapshot:

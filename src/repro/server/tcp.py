@@ -25,6 +25,7 @@ finish and their responses flush, then close.
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import socket
 import threading
@@ -35,6 +36,7 @@ from typing import Optional, Tuple
 from repro.common.errors import (
     ConfigError,
     CorruptionError,
+    OrderTimeoutError,
     ProtocolError,
     ReproError,
     StorageError,
@@ -77,26 +79,40 @@ class OrderedGate:
     turn has not come blocks until its predecessors complete.  Stream state
     is bounded: least-recently-used streams are forgotten past a cap (a
     forgotten stream's next frame would block and time out — acceptable
-    for the short-lived streams the attack driver creates).
+    for the short-lived streams the attack driver creates).  Recency is
+    refreshed on every ``admit``/``complete``, so a busy long-lived stream
+    survives arbitrary churn from one-shot streams.
     """
 
-    _MAX_STREAMS = 64
+    DEFAULT_MAX_STREAMS = 64
 
-    def __init__(self, timeout_s: float) -> None:
+    def __init__(self, timeout_s: float,
+                 max_streams: int = DEFAULT_MAX_STREAMS) -> None:
+        if max_streams < 1:
+            raise ConfigError("gate needs room for at least one stream")
         self._timeout_s = timeout_s
+        self._max_streams = max_streams
         self._cond = threading.Condition()
-        self._next: dict = {}  # nonce -> next admissible seq
+        # nonce -> next admissible seq, in least-recently-touched order
+        # (dicts preserve insertion order; _touch re-inserts at the end).
+        self._next: dict = {}
+
+    def _touch(self, nonce: int) -> None:
+        """Refresh ``nonce``'s recency, evicting the LRU stream if full."""
+        if nonce in self._next:
+            self._next[nonce] = self._next.pop(nonce)
+        elif len(self._next) >= self._max_streams:
+            self._next.pop(next(iter(self._next)))
 
     def admit(self, nonce: int, seq: int) -> None:
         """Block until ``seq`` is the stream's turn."""
         deadline = time.monotonic() + self._timeout_s
         with self._cond:
-            if nonce not in self._next and len(self._next) >= self._MAX_STREAMS:
-                self._next.pop(next(iter(self._next)))
+            self._touch(nonce)
             while self._next.setdefault(nonce, 0) != seq:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise ProtocolError(
+                    raise OrderTimeoutError(
                         f"ordered frame seq={seq} timed out waiting for "
                         f"seq={self._next.get(nonce)} of stream {nonce:#x}"
                     )
@@ -105,8 +121,180 @@ class OrderedGate:
     def complete(self, nonce: int) -> None:
         """Mark the admitted frame done, releasing its successor."""
         with self._cond:
+            self._touch(nonce)
             self._next[nonce] = self._next.get(nonce, 0) + 1
             self._cond.notify_all()
+
+
+def collect_stats(service, background: Optional[BackgroundLoad] = None
+                  ) -> protocol.StatsSnapshot:
+    """Aggregate a STATS snapshot across an arbitrary facade stack.
+
+    Services stack (``MonitoredService(RateLimitedService(KVService))``,
+    defense layers, test doubles), so no fixed unwrap depth is correct:
+    this walks the ``.service`` chain, takes the request counters from the
+    first layer that owns a stats object, sums the stall counters from
+    whichever layers own them, and picks up defense counters from a
+    defense layer anywhere in the stack.  Shared by the threaded and
+    asyncio servers.
+    """
+    stats = None
+    stalled = 0
+    stall_us = 0.0
+    flagged = 0
+    escalations = 0
+    noise = 0
+    layer = service
+    seen: set = set()
+    while layer is not None and id(layer) not in seen:
+        seen.add(id(layer))
+        if stats is None:
+            candidate = getattr(layer, "stats", None)
+            if candidate is not None and hasattr(candidate, "requests"):
+                stats = candidate
+        own = vars(layer) if hasattr(layer, "__dict__") else {}
+        if "stalled_requests" in own:
+            stalled += layer.stalled_requests
+            stall_us += layer.total_stall_us
+        snapshot = getattr(layer, "defense_snapshot", None)
+        if callable(snapshot):
+            defense = snapshot()
+            flagged += defense.flagged_users
+            escalations += defense.escalations
+            noise += defense.noise_injections
+        layer = getattr(layer, "service", None)
+    eviction = background.eviction_wait_us() if background is not None else 0.0
+    return protocol.StatsSnapshot(
+        sim_now_us=service.db.clock.now_us,
+        requests=stats.requests if stats else 0,
+        ok=stats.ok if stats else 0,
+        not_found=stats.not_found if stats else 0,
+        unauthorized=stats.unauthorized if stats else 0,
+        eviction_wait_us=eviction,
+        stalled_requests=stalled,
+        total_stall_us=stall_us,
+        flagged_users=flagged,
+        throttle_escalations=escalations,
+        noise_injections=noise,
+    )
+
+
+def _response_frame(opcode: int, request_id: int, payload: bytes) -> Frame:
+    return Frame(opcode=opcode, request_id=request_id, payload=payload,
+                 flags=protocol.FLAG_RESPONSE)
+
+
+def error_frame(request_id: int, code: int, message: str) -> Frame:
+    """An ERROR response frame (shared by both server cores)."""
+    return Frame(opcode=Opcode.ERROR, request_id=request_id,
+                 payload=protocol.encode_error(code, message),
+                 flags=protocol.FLAG_RESPONSE)
+
+
+def map_dispatch_error(request_id: int, exc: ReproError) -> Frame:
+    """Typed library error -> ERROR frame, one mapping for both servers.
+
+    Order timeouts dispatch on the :class:`OrderTimeoutError` *type* — a
+    decode error whose message merely mentions "timed out" stays a plain
+    PROTOCOL error.
+    """
+    if isinstance(exc, OrderTimeoutError):
+        return error_frame(request_id, ErrorCode.ORDER_TIMEOUT, str(exc))
+    if isinstance(exc, ProtocolError):
+        return error_frame(request_id, ErrorCode.PROTOCOL, str(exc))
+    if isinstance(exc, TransientIOError):
+        # Retryable: tell the client to reissue; nothing is wrong with
+        # the store or the connection.
+        return error_frame(request_id, ErrorCode.TRANSIENT, str(exc))
+    if isinstance(exc, (CorruptionError, StorageError)):
+        # Graceful degradation: a request that hit untrustworthy bytes
+        # fails with a typed error, but the connection (and every key
+        # that does not route through the bad data) keeps working.
+        return error_frame(request_id, ErrorCode.CORRUPTION, str(exc))
+    return error_frame(request_id, ErrorCode.INTERNAL, str(exc))
+
+
+class RequestExecutor:
+    """Opcode execution shared by the threaded and asyncio servers.
+
+    Owns the service/background pair and the *admission point*: every
+    service call happens under ``service_guard`` — a real lock for the
+    threaded server (many workers, one SimClock), a no-op for the asyncio
+    server (the single-threaded event loop already serializes, and
+    :meth:`execute` never yields mid-request).
+    """
+
+    def __init__(self, service,
+                 background: Optional[BackgroundLoad] = None,
+                 service_guard=None) -> None:
+        self.service = service
+        self.background = background
+        self.service_guard = (service_guard if service_guard is not None
+                              else contextlib.nullcontext())
+
+    def execute(self, opcode: int, payload: bytes, request_id: int) -> Frame:
+        """Run one decoded request against the service, building the reply."""
+        if opcode == Opcode.PING:
+            return _response_frame(Opcode.PING, request_id, payload)
+        if opcode == Opcode.GET:
+            user, key = protocol.decode_get_request(payload)
+            with self.service_guard:
+                response, sim_us = self.service.get_timed(user, key)
+            return _response_frame(Opcode.GET, request_id,
+                                   protocol.encode_result(response, sim_us))
+        if opcode == Opcode.GET_MANY:
+            user, keys = protocol.decode_get_many_request(payload)
+            with self.service_guard:
+                results = self.service.get_many_timed(user, keys)
+            return _response_frame(Opcode.GET_MANY, request_id,
+                                   protocol.encode_get_many_response(results))
+        if opcode == Opcode.PUT:
+            user, key, value, flags = protocol.decode_put_request(payload)
+            acl = self._put_acl(user, flags)
+            with self.service_guard:
+                response, sim_us = self.service.put_timed(user, key, value,
+                                                          acl)
+            return _response_frame(Opcode.PUT, request_id,
+                                   protocol.encode_result(response, sim_us))
+        if opcode == Opcode.PUT_MANY:
+            user, items, flags = protocol.decode_put_many_request(payload)
+            acl = self._put_acl(user, flags)
+            with self.service_guard:
+                responses, sim_us = self.service.put_many_timed(user, items,
+                                                                acl)
+            return _response_frame(
+                Opcode.PUT_MANY, request_id,
+                protocol.encode_put_many_response(len(responses), sim_us))
+        if opcode == Opcode.DELETE:
+            user, key = protocol.decode_delete_request(payload)
+            with self.service_guard:
+                response, sim_us = self.service.delete_timed(user, key)
+            return _response_frame(Opcode.DELETE, request_id,
+                                   protocol.encode_result(response, sim_us))
+        if opcode == Opcode.STATS:
+            return _response_frame(
+                Opcode.STATS, request_id,
+                protocol.encode_stats_response(
+                    collect_stats(self.service, self.background)))
+        if opcode == Opcode.WAIT:
+            duration_us = protocol.decode_wait_request(payload)
+            if self.background is None:
+                return error_frame(
+                    request_id, ErrorCode.UNSUPPORTED,
+                    "server has no background load attached")
+            with self.service_guard:
+                self.background.run_for(duration_us)
+                now = self.service.db.clock.now_us
+            return _response_frame(Opcode.WAIT, request_id,
+                                   protocol.encode_wait_response(now))
+        return error_frame(request_id, ErrorCode.UNSUPPORTED,
+                           f"opcode {opcode} is not servable")
+
+    @staticmethod
+    def _put_acl(user: int, flags: int):
+        from repro.system.acl import Acl
+        return Acl(owner=user,
+                   public_read=bool(flags & protocol.PUT_FLAG_PUBLIC_READ))
 
 
 def _read_exact(sock: socket.socket, count: int) -> bytes:
@@ -156,6 +344,8 @@ class KVWireServer:
         self.config = config or ServerConfig()
         self.background = background
         self._service_lock = threading.Lock()
+        self._executor = RequestExecutor(service, background,
+                                         service_guard=self._service_lock)
         self._gate = OrderedGate(self.config.order_timeout_s)
         self._listener: Optional[socket.socket] = None
         self._threads: list = []
@@ -316,25 +506,8 @@ class KVWireServer:
     def _dispatch(self, frame: Frame) -> Frame:
         try:
             return self._dispatch_inner(frame)
-        except ProtocolError as exc:
-            return self._error_frame(frame.request_id,
-                                     ErrorCode.ORDER_TIMEOUT
-                                     if "timed out" in str(exc)
-                                     else ErrorCode.PROTOCOL, str(exc))
-        except TransientIOError as exc:
-            # Retryable: tell the client to reissue; nothing is wrong with
-            # the store or the connection.
-            return self._error_frame(frame.request_id, ErrorCode.TRANSIENT,
-                                     str(exc))
-        except (CorruptionError, StorageError) as exc:
-            # Graceful degradation: a request that hit untrustworthy bytes
-            # fails with a typed error, but the connection (and every key
-            # that does not route through the bad data) keeps working.
-            return self._error_frame(frame.request_id, ErrorCode.CORRUPTION,
-                                     str(exc))
         except ReproError as exc:
-            return self._error_frame(frame.request_id, ErrorCode.INTERNAL,
-                                     str(exc))
+            return map_dispatch_error(frame.request_id, exc)
 
     def _dispatch_inner(self, frame: Frame) -> Frame:
         payload = frame.payload
@@ -344,103 +517,19 @@ class KVWireServer:
         if token is not None:
             self._gate.admit(token.nonce, token.seq)
         try:
-            out = self._execute(frame.opcode, payload, frame.request_id)
+            out = self._executor.execute(frame.opcode, payload,
+                                         frame.request_id)
         finally:
             if token is not None:
                 self._gate.complete(token.nonce)
         return out
 
-    def _execute(self, opcode: int, payload: bytes, request_id: int) -> Frame:
-        if opcode == Opcode.PING:
-            return self._response(Opcode.PING, request_id, payload)
-        if opcode == Opcode.GET:
-            user, key = protocol.decode_get_request(payload)
-            with self._service_lock:
-                response, sim_us = self.service.get_timed(user, key)
-            return self._response(Opcode.GET, request_id,
-                                  protocol.encode_result(response, sim_us))
-        if opcode == Opcode.GET_MANY:
-            user, keys = protocol.decode_get_many_request(payload)
-            with self._service_lock:
-                results = self.service.get_many_timed(user, keys)
-            return self._response(Opcode.GET_MANY, request_id,
-                                  protocol.encode_get_many_response(results))
-        if opcode == Opcode.PUT:
-            user, key, value, flags = protocol.decode_put_request(payload)
-            acl = self._put_acl(user, flags)
-            with self._service_lock:
-                response, sim_us = self.service.put_timed(user, key, value,
-                                                          acl)
-            return self._response(Opcode.PUT, request_id,
-                                  protocol.encode_result(response, sim_us))
-        if opcode == Opcode.PUT_MANY:
-            user, items, flags = protocol.decode_put_many_request(payload)
-            acl = self._put_acl(user, flags)
-            with self._service_lock:
-                responses, sim_us = self.service.put_many_timed(user, items,
-                                                                acl)
-            return self._response(
-                Opcode.PUT_MANY, request_id,
-                protocol.encode_put_many_response(len(responses), sim_us))
-        if opcode == Opcode.DELETE:
-            user, key = protocol.decode_delete_request(payload)
-            with self._service_lock:
-                response, sim_us = self.service.delete_timed(user, key)
-            return self._response(Opcode.DELETE, request_id,
-                                  protocol.encode_result(response, sim_us))
-        if opcode == Opcode.STATS:
-            return self._response(Opcode.STATS, request_id,
-                                  protocol.encode_stats_response(self._stats()))
-        if opcode == Opcode.WAIT:
-            duration_us = protocol.decode_wait_request(payload)
-            if self.background is None:
-                return self._error_frame(
-                    request_id, ErrorCode.UNSUPPORTED,
-                    "server has no background load attached")
-            with self._service_lock:
-                self.background.run_for(duration_us)
-                now = self.service.db.clock.now_us
-            return self._response(Opcode.WAIT, request_id,
-                                  protocol.encode_wait_response(now))
-        return self._error_frame(request_id, ErrorCode.UNSUPPORTED,
-                                 f"opcode {opcode} is not servable")
-
-    @staticmethod
-    def _put_acl(user: int, flags: int):
-        from repro.system.acl import Acl
-        return Acl(owner=user,
-                   public_read=bool(flags & protocol.PUT_FLAG_PUBLIC_READ))
-
-    def _stats(self) -> protocol.StatsSnapshot:
-        stats = self.service.stats if hasattr(self.service, "stats") \
-            else self.service.service.stats
-        eviction = (self.background.eviction_wait_us()
-                    if self.background is not None else 0.0)
-        return protocol.StatsSnapshot(
-            sim_now_us=self.service.db.clock.now_us,
-            requests=stats.requests, ok=stats.ok,
-            not_found=stats.not_found, unauthorized=stats.unauthorized,
-            eviction_wait_us=eviction,
-            stalled_requests=getattr(self.service, "stalled_requests", 0),
-            total_stall_us=getattr(self.service, "total_stall_us", 0.0),
-        )
-
     # ----------------------------------------------------------------- helpers
-
-    @staticmethod
-    def _response(opcode: int, request_id: int, payload: bytes) -> Frame:
-        return Frame(opcode=opcode, request_id=request_id, payload=payload,
-                     flags=protocol.FLAG_RESPONSE)
-
-    def _error_frame(self, request_id: int, code: int, message: str) -> Frame:
-        return Frame(opcode=Opcode.ERROR, request_id=request_id,
-                     payload=protocol.encode_error(code, message),
-                     flags=protocol.FLAG_RESPONSE)
 
     def _send_error(self, sock: socket.socket, request_id: int, code: int,
                     message: str) -> None:
         try:
             sock.sendall(protocol.encode_frame(
-                self._error_frame(request_id, code, message)))
+                error_frame(request_id, code, message)))
         except OSError:
             pass

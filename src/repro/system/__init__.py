@@ -1,6 +1,13 @@
 """High-level ACL-checking system of the threat model (paper section 4)."""
 
 from repro.system.acl import Acl, pack_value, unpack_value
+from repro.system.defense import (
+    DEFENSE_MODES,
+    DefendedService,
+    DefensePolicy,
+    DefenseSnapshot,
+    build_defended_service,
+)
 from repro.system.detector import (
     DetectorPolicy,
     MonitoredService,
@@ -24,7 +31,12 @@ __all__ = [
     "ACL_CHECK_US",
     "Acl",
     "DATACENTER",
+    "DEFENSE_MODES",
+    "DefendedService",
+    "DefensePolicy",
+    "DefenseSnapshot",
     "DetectorPolicy",
+    "build_defended_service",
     "MonitoredService",
     "SiphoningDetector",
     "UserVerdict",

@@ -26,12 +26,14 @@ section 11 discusses.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.keys import common_prefix_len
+from repro.lsm.db import ProbePlan
 from repro.system.responses import Response, Status
 from repro.system.service import KVService
 
@@ -75,32 +77,43 @@ class UserVerdict:
 
 
 class SiphoningDetector:
-    """Per-user sliding-window scoring of the request stream."""
+    """Per-user sliding-window scoring of the request stream.
+
+    Thread-safe: the serving layers observe from many workers (and the
+    asyncio defense layer re-scores concurrently with observation), so
+    window mutation and scoring serialize on one lock.  ``observe`` is a
+    deque append plus a counter bump — the lock is never held across
+    anything slow.
+    """
 
     def __init__(self, policy: DetectorPolicy = DetectorPolicy()) -> None:
         self.policy = policy
         self._windows: Dict[int, Deque[Tuple[bytes, bool]]] = {}
         self._totals: Dict[int, int] = {}
+        self._lock = threading.Lock()
 
     # --------------------------------------------------------------- feeding
 
     def observe(self, user: int, key: bytes, status: Status) -> None:
         """Record one request outcome (OK vs any failure)."""
-        window = self._windows.setdefault(
-            user, deque(maxlen=self.policy.window))
-        window.append((key, status is Status.OK))
-        self._totals[user] = self._totals.get(user, 0) + 1
+        with self._lock:
+            window = self._windows.setdefault(
+                user, deque(maxlen=self.policy.window))
+            window.append((key, status is Status.OK))
+            self._totals[user] = self._totals.get(user, 0) + 1
 
     # --------------------------------------------------------------- scoring
 
     def verdict(self, user: int) -> UserVerdict:
         """Score ``user``'s recent window."""
-        window = self._windows.get(user)
-        seen = self._totals.get(user, 0)
-        if not window or seen < self.policy.min_requests:
-            return UserVerdict(seen, 0.0, 0.0, False, "insufficient data")
-        misses = [key for key, ok in window if not ok]
-        miss_ratio = len(misses) / len(window)
+        with self._lock:
+            window = self._windows.get(user)
+            seen = self._totals.get(user, 0)
+            if not window or seen < self.policy.min_requests:
+                return UserVerdict(seen, 0.0, 0.0, False, "insufficient data")
+            misses = [key for key, ok in window if not ok]
+            window_len = len(window)
+        miss_ratio = len(misses) / window_len
         lcp_excess = self._lcp_excess(misses)
         if miss_ratio >= self.policy.extreme_miss_ratio:
             return UserVerdict(
@@ -119,7 +132,9 @@ class SiphoningDetector:
 
     def flagged_users(self):
         """Users whose current window trips the detector."""
-        return [user for user in self._windows if self.verdict(user).flagged]
+        with self._lock:
+            users = list(self._windows)
+        return [user for user in users if self.verdict(user).flagged]
 
     def _lcp_excess(self, misses) -> float:
         if len(misses) < 8:
@@ -138,10 +153,14 @@ class SiphoningDetector:
 class MonitoredService:
     """A :class:`KVService` facade that feeds the detector inline.
 
-    Exposes the surface the attack oracles consume, so any experiment can
-    interpose monitoring without touching the attacker.  Detection is
-    passive here (observe + flag); pairing it with
-    :class:`~repro.system.ratelimit.RateLimitedService` yields the
+    Exposes the *full* surface the attack oracles and the wire servers
+    consume — scalar and batch, reads and writes — with one observation
+    per key, so the batched probe-engine paths (``getter`` /
+    ``get_many`` / ``get_many_timed``) feed the detector exactly like a
+    loop of scalar gets: a batched attack trips the same verdict as the
+    serial one.  Detection is passive here (observe + flag); pairing it
+    with :class:`~repro.system.ratelimit.RateLimitedService` — or the
+    active :class:`~repro.system.defense.DefendedService` — yields the
     detect-then-throttle response of section 11.
     """
 
@@ -151,6 +170,8 @@ class MonitoredService:
         self.detector = detector or SiphoningDetector()
         self.db = service.db
         self.distinguish_unauthorized = service.distinguish_unauthorized
+
+    # ------------------------------------------------------------------ reads
 
     def get(self, user: int, key: bytes) -> Response:
         """Forward a point request, recording its outcome."""
@@ -163,6 +184,48 @@ class MonitoredService:
         response, elapsed = self.service.get_timed(user, key)
         self.detector.observe(user, key, response.status)
         return response, elapsed
+
+    def getter(self, user: int, plan: Optional[ProbePlan] = None
+               ) -> Callable[[bytes], Response]:
+        """Fast-path closure with per-key observation.
+
+        This is the single point the batch APIs and the attack oracles'
+        probe fast path build on — observing here closes the blind spot
+        where probe-engine queries bypassed the detector entirely.
+        """
+        get_one = self.service.getter(user, plan)
+        observe = self.detector.observe
+
+        def monitored_get(key: bytes) -> Response:
+            response = get_one(key)
+            observe(user, key, response.status)
+            return response
+
+        return monitored_get
+
+    def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
+        """Batch read, one observation per key."""
+        keys = list(keys)
+        responses = self.service.get_many(user, keys)
+        for key, response in zip(keys, responses):
+            self.detector.observe(user, key, response.status)
+        return responses
+
+    def get_many_timed(self, user: int, keys: Sequence[bytes]
+                       ) -> List[Tuple[Response, float]]:
+        """Batch timed read, one observation per key.
+
+        Delegates to the wrapped service's own timed batch, so per-key
+        times are exactly what the unmonitored stack reports — including
+        a stacked rate limiter's stall *exclusion* (stalls are client
+        queuing, not response time; re-timing here would leak them into
+        the measurement).  Observation touches no clock, stats, or RNG.
+        """
+        keys = list(keys)
+        timed = self.service.get_many_timed(user, keys)
+        for key, (response, _) in zip(keys, timed):
+            self.detector.observe(user, key, response.status)
+        return timed
 
     def range_query(self, user: int, low: bytes, high: bytes,
                     limit: Optional[int] = None):
@@ -180,3 +243,48 @@ class MonitoredService:
         self.detector.observe(user, low,
                               Status.OK if out else Status.NOT_FOUND)
         return out, elapsed
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, user: int, key: bytes, payload: bytes,
+            acl=None) -> Response:
+        """Forward a write, recording its outcome."""
+        response = self.service.put(user, key, payload, acl)
+        self.detector.observe(user, key, response.status)
+        return response
+
+    def put_timed(self, user: int, key: bytes, payload: bytes,
+                  acl=None) -> Tuple[Response, float]:
+        """Forward a timed write, recording its outcome."""
+        response, elapsed = self.service.put_timed(user, key, payload, acl)
+        self.detector.observe(user, key, response.status)
+        return response, elapsed
+
+    def put_many(self, user: int, items, acl=None) -> List[Response]:
+        """Forward a batch write, one observation per record."""
+        items = list(items)
+        responses = self.service.put_many(user, items, acl)
+        for (key, _), response in zip(items, responses):
+            self.detector.observe(user, key, response.status)
+        return responses
+
+    def put_many_timed(self, user: int, items,
+                       acl=None) -> Tuple[List[Response], float]:
+        """Forward a timed batch write, one observation per record."""
+        items = list(items)
+        responses, elapsed = self.service.put_many_timed(user, items, acl)
+        for (key, _), response in zip(items, responses):
+            self.detector.observe(user, key, response.status)
+        return responses, elapsed
+
+    def delete(self, user: int, key: bytes) -> Response:
+        """Forward a delete, recording its outcome (misses included)."""
+        response = self.service.delete(user, key)
+        self.detector.observe(user, key, response.status)
+        return response
+
+    def delete_timed(self, user: int, key: bytes) -> Tuple[Response, float]:
+        """Forward a timed delete, recording its outcome."""
+        response, elapsed = self.service.delete_timed(user, key)
+        self.detector.observe(user, key, response.status)
+        return response, elapsed

@@ -61,6 +61,7 @@ class RateLimitedService:
         self.db = service.db
         self.distinguish_unauthorized = service.distinguish_unauthorized
         self._buckets: Dict[int, _Bucket] = {}
+        self._user_policies: Dict[int, RateLimitPolicy] = {}
         #: Serializes bucket mutation and the stall counters: admission is
         #: read-modify-write state, and concurrent callers (the threaded
         #: wire server, or any multi-threaded embedder) would otherwise
@@ -71,16 +72,38 @@ class RateLimitedService:
 
     # ------------------------------------------------------------- throttling
 
+    def set_user_policy(self, user: int,
+                        policy: Optional[RateLimitPolicy]) -> None:
+        """Override (or, with ``None``, restore) one user's policy.
+
+        The escalation hook for the online defense: a flagged user can be
+        squeezed to a far lower sustained rate without touching anyone
+        else's budget.  The user's bucket is reset so the new burst cap
+        applies immediately rather than after their old allowance drains.
+        """
+        with self._lock:
+            if policy is None:
+                self._user_policies.pop(user, None)
+            else:
+                self._user_policies[user] = policy
+            self._buckets.pop(user, None)
+
+    def user_policy(self, user: int) -> RateLimitPolicy:
+        """The policy currently governing ``user``."""
+        with self._lock:
+            return self._user_policies.get(user, self.policy)
+
     def _admit(self, user: int) -> None:
         clock = self.db.clock
         with self._lock:
+            policy = self._user_policies.get(user, self.policy)
             bucket = self._buckets.get(user)
             if bucket is None:
-                bucket = _Bucket(self.policy.burst, clock.now_us)
+                bucket = _Bucket(policy.burst, clock.now_us)
                 self._buckets[user] = bucket
-            rate = self.policy.requests_per_second / 1e6  # tokens per us
+            rate = policy.requests_per_second / 1e6  # tokens per us
             elapsed = clock.now_us - bucket.last_us
-            bucket.tokens = min(float(self.policy.burst),
+            bucket.tokens = min(float(policy.burst),
                                 bucket.tokens + elapsed * rate)
             bucket.last_us = clock.now_us
             if bucket.tokens < 1.0:

@@ -1,0 +1,222 @@
+"""Asyncio server core behavior: gate semantics, framing, scale, defense.
+
+Mirrors the threaded-server suites where the contract is shared (ordered
+frames, error paths, STATS) and adds what only the event-loop core
+promises: connection counts far past any worker-pool ceiling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    OrderTimeoutError,
+    RemoteError,
+)
+from repro.common.rng import make_rng
+from repro.filters import SuRFBuilder
+from repro.server import protocol
+from repro.server.aio import AsyncLoopbackTransport, AsyncOrderedGate
+from repro.server.protocol import ErrorCode, Frame, Opcode, OrderToken
+from repro.server.tcp import read_frame
+from repro.system.defense import DefensePolicy, build_defended_service
+from repro.system.responses import Status
+from repro.workloads import (
+    ATTACKER_USER,
+    OWNER_USER,
+    DatasetConfig,
+    build_environment,
+)
+
+
+@pytest.fixture()
+def aio_loopback(wire_env):
+    """A fresh asyncio-served stack per test."""
+    transport = AsyncLoopbackTransport(wire_env.service,
+                                       background=wire_env.background)
+    yield transport
+    transport.close()
+
+
+class TestAsyncOrderedGate:
+    """Unit contract: same semantics as the threaded OrderedGate."""
+
+    def test_in_order_admits_immediately(self):
+        async def scenario():
+            gate = AsyncOrderedGate(timeout_s=1.0)
+            for seq in range(3):
+                await gate.admit(0x1, seq)
+                gate.complete(0x1)
+
+        asyncio.run(scenario())
+
+    def test_out_of_order_waits_for_predecessor(self):
+        async def scenario():
+            gate = AsyncOrderedGate(timeout_s=5.0)
+            await gate.admit(0x1, 0)
+            second = asyncio.ensure_future(gate.admit(0x1, 1))
+            await asyncio.sleep(0.05)
+            assert not second.done()  # held until seq 0 completes
+            gate.complete(0x1)
+            await asyncio.wait_for(second, 1.0)
+
+        asyncio.run(scenario())
+
+    def test_timeout_raises_typed_error(self):
+        async def scenario():
+            gate = AsyncOrderedGate(timeout_s=0.05)
+            with pytest.raises(OrderTimeoutError):
+                await gate.admit(0x1, 5)
+
+        asyncio.run(scenario())
+
+    def test_busy_stream_survives_one_shot_churn(self):
+        async def scenario():
+            gate = AsyncOrderedGate(timeout_s=0.25, max_streams=4)
+            busy = 0x7
+            await gate.admit(busy, 0)
+            gate.complete(busy)
+            for i, nonce in enumerate(range(0x100, 0x10C)):
+                await gate.admit(nonce, 0)
+                gate.complete(nonce)
+                await gate.admit(busy, i + 1)  # LRU keeps its state alive
+                gate.complete(busy)
+
+        asyncio.run(scenario())
+
+    def test_gate_needs_at_least_one_stream(self):
+        with pytest.raises(ConfigError):
+            AsyncOrderedGate(timeout_s=1.0, max_streams=0)
+
+
+class TestAioServing:
+    def test_full_opcode_round_trip(self, aio_loopback, wire_env):
+        client = aio_loopback.connect()
+        assert client.ping(b"aio") == b"aio"
+        stored = wire_env.keys[0]
+        assert client.get(OWNER_USER, stored).status is Status.OK
+        assert client.get(ATTACKER_USER, stored).status is Status.UNAUTHORIZED
+        assert client.put(OWNER_USER, b"aio:k", b"v").status is Status.OK
+        count, sim_us = client.put_many_timed(
+            OWNER_USER, [(b"aio:%d" % i, b"v") for i in range(8)])
+        assert count == 8 and sim_us > 0
+        responses = client.get_many(OWNER_USER, [b"aio:k", b"aio:3",
+                                                 b"aio:absent"])
+        assert [r.status for r in responses] == [
+            Status.OK, Status.OK, Status.NOT_FOUND]
+        assert client.delete(OWNER_USER, b"aio:k").status is Status.OK
+        stats = client.stats()
+        assert stats.requests >= 5  # the read-path counter
+        assert stats.ok >= 3 and stats.unauthorized >= 1
+        assert stats.sim_now_us == wire_env.clock.now_us
+        client.close()
+
+    def test_hundreds_of_concurrent_connections(self, aio_loopback):
+        held = [aio_loopback.connect() for _ in range(200)]
+        for i, client in enumerate(held):
+            payload = b"c%d" % i
+            assert client.ping(payload) == payload
+        assert aio_loopback.server.peak_connections >= 200
+        for client in held:
+            client.close()
+
+    def test_pool_has_no_worker_cap(self, aio_loopback, wire_env):
+        # The threaded transport refuses pools wider than its worker
+        # count; the event loop has no such ceiling.
+        pool = aio_loopback.pool(32)
+        pool.close()
+        clients = [aio_loopback.connect() for _ in range(8)]
+        for client in clients:
+            assert client.get(OWNER_USER, wire_env.keys[1]).status is Status.OK
+            client.close()
+
+    def test_stop_is_idempotent_and_refuses_restart(self, wire_env):
+        transport = AsyncLoopbackTransport(wire_env.service,
+                                           background=wire_env.background)
+        transport.close()
+        transport.close()  # second stop is a no-op
+        with pytest.raises(ConfigError):
+            transport.server.start()
+
+
+class TestAioOrderedFrames:
+    def test_out_of_order_frame_blocks_until_predecessor(self, aio_loopback):
+        """Same raw-frame scenario as the threaded TestOrderedGate."""
+        nonce = 0xDEAD
+        sock1 = aio_loopback.dial()
+        sock1.sendall(protocol.encode_frame(Frame(
+            opcode=Opcode.PING, request_id=11,
+            payload=protocol.prepend_order(b"second", OrderToken(nonce, 1)),
+            flags=protocol.FLAG_ORDERED)))
+        sock1.settimeout(0.3)
+        with pytest.raises(socket.timeout):
+            read_frame(sock1)  # the gate is holding seq 1
+        sock0 = aio_loopback.dial()
+        sock0.sendall(protocol.encode_frame(Frame(
+            opcode=Opcode.PING, request_id=10,
+            payload=protocol.prepend_order(b"first", OrderToken(nonce, 0)),
+            flags=protocol.FLAG_ORDERED)))
+        assert read_frame(sock0).payload == b"first"
+        sock1.settimeout(5.0)
+        assert read_frame(sock1).payload == b"second"
+        sock0.close()
+        sock1.close()
+
+    def test_ordered_serial_equals_unordered_serial(self, aio_loopback,
+                                                    wire_env):
+        client = aio_loopback.connect()
+        keys = wire_env.keys[20:26]
+        plain = client.get_many(ATTACKER_USER, keys)
+        ordered = client.get_many(ATTACKER_USER, keys,
+                                  order=OrderToken(0xBEEF, 0))
+        assert [r.status for r in plain] == [r.status for r in ordered]
+        client.close()
+
+
+class TestAioErrorPaths:
+    def test_garbage_header_yields_protocol_error(self, aio_loopback):
+        sock = aio_loopback.dial()
+        sock.sendall(b"\x00" * protocol.HEADER_BYTES)
+        reply = read_frame(sock)
+        assert reply.opcode == Opcode.ERROR
+        code, _ = protocol.decode_error(reply.payload)
+        assert code in (ErrorCode.PROTOCOL, ErrorCode.VERSION)
+        sock.close()
+
+    def test_error_response_keeps_connection_alive(self, wire_env):
+        with AsyncLoopbackTransport(wire_env.service,
+                                    background=None) as transport:
+            client = transport.connect()
+            with pytest.raises(RemoteError) as excinfo:
+                client.wait(1000.0)  # no background load attached
+            assert excinfo.value.code == ErrorCode.UNSUPPORTED
+            # The connection survives an error response.
+            assert client.ping(b"still here") == b"still here"
+            client.close()
+
+
+class TestAioDefendedStats:
+    @pytest.mark.wire_deadline(120)
+    def test_defense_counters_surface_through_stats(self):
+        env = build_environment(DatasetConfig(
+            num_keys=300, key_width=4, seed=5,
+            filter_builder=SuRFBuilder(variant="real", suffix_bits=8)))
+        defended = build_defended_service(
+            env.service, policy=DefensePolicy(mode="noise", check_every=64))
+        with AsyncLoopbackTransport(defended,
+                                    background=env.background) as transport:
+            client = transport.connect()
+            assert client.stats().flagged_users == 0
+            rng = make_rng(9, "aio-guesses")
+            keys = [rng.random_bytes(4) for _ in range(384)]
+            for start in range(0, len(keys), 64):
+                client.get_many(ATTACKER_USER, keys[start:start + 64])
+            stats = client.stats()
+            client.close()
+        assert stats.flagged_users == 1
+        assert stats.noise_injections > 0
+        assert stats.throttle_escalations == 0
