@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke async-smoke torture clean
+.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke async-smoke mvcc-smoke torture clean
 
 check: test test39
 
@@ -52,6 +52,16 @@ probe-smoke:
 async-smoke:
 	REPRO_ASYNC_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_server_async.py -q --benchmark-disable
+
+# Small-N run of the mixed-workload bench: races point reads against a
+# forced compact_all in both compaction modes and siphons a pinned
+# snapshot while the live tree churns — asserts the MVCC machinery holds
+# (no leaked version pins, background merges really ran) without the
+# full-size stall quantiles, and without touching the committed results
+# files.
+mvcc-smoke:
+	REPRO_MVCC_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_mixed_workload.py -q --benchmark-disable
 
 # One real TCP round trip through the wire-protocol server: build a small
 # store, serve it, ping + get + stats from a client, shut down cleanly.

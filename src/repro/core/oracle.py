@@ -35,6 +35,17 @@ class QueryOracle(abc.ABC):
         self.service = service
         self.attacker_user = attacker_user
         self.counter = QueryCounter()
+        #: The probe plan backing the most recent :meth:`prober_for`
+        #: closure.  A plan pins an MVCC version; holding at most one at
+        #: a time (released on the next prepass or :meth:`release_plan`)
+        #: keeps a long attack from accumulating pinned versions.
+        self._active_plan = None
+
+    def release_plan(self) -> None:
+        """Unpin the version behind the last primed prober (idempotent)."""
+        plan, self._active_plan = self._active_plan, None
+        if plan is not None:
+            plan.release()
 
     @abc.abstractmethod
     def classify(self, keys: Sequence[bytes]) -> List[bool]:
@@ -93,8 +104,10 @@ class QueryOracle(abc.ABC):
         if getter is None or probe_plan is None:
             return self.prober()
         plan = probe_plan(list(keys))
+        self.release_plan()
         if plan is None:  # engine disabled, or nothing reaches a filter
             return self.prober()
+        self._active_plan = plan
         get_one = getter(self.attacker_user, plan)
         counter = self.counter
 

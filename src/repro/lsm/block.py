@@ -83,7 +83,14 @@ class BlockBuilder:
 
 
 class Block:
-    """Decoded view of one block, supporting binary search by key."""
+    """Decoded view of one block, supporting binary search by key.
+
+    ``data`` may be ``bytes`` or a zero-copy ``memoryview`` (the mmap
+    read path); checksum verification, ``unpack_from`` and slicing all
+    work directly on the buffer, and only the keys/values a lookup
+    actually touches are materialized to ``bytes`` — record-granularity
+    copies, never block-sized ones.
+    """
 
     def __init__(self, data: bytes) -> None:
         if len(data) < 2 * _U32.size:
@@ -130,10 +137,11 @@ class Block:
         off = self._offset(index)
         key_len, flags, value_len = _RECORD_HEADER.unpack_from(self._data, off)
         key_start = off + _RECORD_HEADER.size
-        key = self._data[key_start : key_start + key_len]
+        key = bytes(self._data[key_start : key_start + key_len])
         if flags & _FLAG_TOMBSTONE:
             return key, TOMBSTONE
-        value = self._data[key_start + key_len : key_start + key_len + value_len]
+        value = bytes(
+            self._data[key_start + key_len : key_start + key_len + value_len])
         return key, Entry(value)
 
     def key_at(self, index: int) -> bytes:
@@ -141,7 +149,7 @@ class Block:
         off = self._offset(index)
         key_len, _, _ = _RECORD_HEADER.unpack_from(self._data, off)
         key_start = off + _RECORD_HEADER.size
-        return self._data[key_start : key_start + key_len]
+        return bytes(self._data[key_start : key_start + key_len])
 
     def get(self, key: bytes) -> Optional[Entry]:
         """Entry for ``key`` within this block, or None."""

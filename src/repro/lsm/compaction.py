@@ -13,22 +13,29 @@ key-value pairs"):
 
 Merged outputs are split at ``sstable_target_bytes``; tombstones are
 dropped only when the output level is the bottommost populated level
-(below it nothing can be shadowed).  Old files have their pages
-invalidated from the cache immediately but are only *queued* for deletion
-(:meth:`Compactor.drain_obsolete`): the LSM tree deletes them after the
-manifest durably records the post-compaction version, so no crash point
-can leave a manifest referencing files that are already gone.
+(below it nothing can be shadowed).  Results are installed as
+:class:`~repro.lsm.version.VersionEdit`\\ s against the
+:class:`~repro.lsm.version.VersionSet`: readers pinned to older versions
+keep their table set, and an input table's file is deleted only after the
+manifest that forgets it is durable *and* its last pinning version has
+dropped (the version-lifetime fold of PR 3's retire/drain deferral).
 
 The size-tiered style (``compaction_style="tiered"``) instead keeps every
 run in L0 and merges recency-adjacent runs of similar size — Cassandra's
 classic policy — trading read-path fan-out (more runs, more filter checks
 per ``get``) for lower write amplification.
+
+:class:`BackgroundCompactor` drives a second Compactor instance — bound
+to a silent device view and a private cache — on a daemon thread, so
+compaction overlaps serving without charging the store's simulated clock
+or blocking its read path.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import CompactionError
 from repro.lsm.iterator import merge_entries
@@ -41,24 +48,42 @@ from repro.lsm.parallel_build import (
     plan_split_points,
 )
 from repro.lsm.sstable import SSTable, SSTableBuilder
-from repro.lsm.version import Version
+from repro.lsm.version import Version, VersionEdit, VersionSet
 from repro.storage.device import StorageDevice
 from repro.storage.page_cache import PageCache
 
 
 class Compactor:
-    """Runs compactions against a :class:`Version` in place."""
+    """Runs compactions against a :class:`VersionSet` via edits.
+
+    ``device``/``cache`` are where the merge reads inputs and writes
+    outputs — the real device for inline compaction, a silent view plus
+    a private cache for background compaction.  ``invalidate_cache`` is
+    the *serving* cache, invalidated for removed tables at install time
+    regardless of which cache the merge read through.  When outputs are
+    built over a silent view, ``rebind_device`` points their readers
+    back at the real device before install, so foreground reads of the
+    new tables charge the real clock.
+    """
 
     def __init__(self, device: StorageDevice, cache: PageCache,
-                 options: LSMOptions, version: Version,
-                 allocate_path) -> None:
+                 options: LSMOptions, versions: VersionSet,
+                 allocate_path,
+                 invalidate_cache: Optional[PageCache] = None,
+                 rebind_device: Optional[StorageDevice] = None) -> None:
         self.device = device
         self.cache = cache
         self.options = options
-        self.version = version
+        self.versions = versions
         self._allocate_path = allocate_path
+        self.invalidate_cache = invalidate_cache or cache
+        self.rebind_device = rebind_device
         self.compactions_run = 0
-        self._obsolete: List[str] = []
+
+    @property
+    def version(self) -> Version:
+        """The current version (re-read on every trigger check)."""
+        return self.versions.current
 
     # ----------------------------------------------------------------- policy
 
@@ -68,16 +93,26 @@ class Compactor:
             return self._maybe_compact_tiered()
         ran = 0
         while True:
-            if len(self.version.levels[0]) >= self.options.l0_compaction_trigger:
-                self._compact_l0()
+            current = self.versions.current
+            if len(current.levels[0]) >= self.options.l0_compaction_trigger:
+                self._compact_l0(current)
                 ran += 1
                 continue
-            level = self._oversized_level()
+            level = self._oversized_level(current)
             if level is not None:
-                self._compact_level(level)
+                self._compact_level(current, level)
                 ran += 1
                 continue
             return ran
+
+    def pending(self) -> bool:
+        """Whether any compaction trigger currently fires."""
+        current = self.versions.current
+        if self.options.compaction_style == "tiered":
+            groups = self._group_runs(list(current.levels[0]))
+            return self._find_tier_window(groups) is not None
+        return (len(current.levels[0]) >= self.options.l0_compaction_trigger
+                or self._oversized_level(current) is not None)
 
     # ----------------------------------------------------- tiered compaction
 
@@ -96,10 +131,14 @@ class Compactor:
         split pieces as small similar-size runs and re-merge them forever.
         Splicing by group position also replaces the old O(n^2)
         list-membership rebuild of the surviving runs.
+
+        Tiered compaction runs inline only (the whole-L0 splice assumes
+        no concurrent flush; options validation enforces it).
         """
         ran = 0
         while True:
-            groups = self._group_runs(self.version.levels[0])
+            current = self.versions.current
+            groups = self._group_runs(list(current.levels[0]))
             window = self._find_tier_window(groups)
             if window is None:
                 return ran
@@ -109,23 +148,18 @@ class Compactor:
             merged = self._merge_runs(inputs, drop_tombstones=oldest_included)
             before = [t for group in groups[:start] for t in group]
             after = [t for group in groups[end:] for t in group]
-            self.version.levels[0] = before + merged + after
-            self.version._max_keys[0] = None
-            self._retire(inputs)
-            self.compactions_run += 1
+            self._install(VersionEdit().replace_l0(before + merged + after,
+                                                   inputs), inputs)
             ran += 1
 
     def merge_all_runs(self) -> None:
         """Full compaction for the tiered style: all runs become one
         (split into ``sstable_target_bytes`` tables like leveled merges)."""
-        runs = list(self.version.levels[0])
+        runs = list(self.versions.current.levels[0])
         if len(runs) <= 1:
             return
         merged = self._merge_runs(runs, drop_tombstones=True)
-        self.version.levels[0] = merged
-        self.version._max_keys[0] = None
-        self._retire(runs)
-        self.compactions_run += 1
+        self._install(VersionEdit().replace_l0(merged, runs), runs)
 
     @staticmethod
     def _group_runs(tables: List[SSTable]) -> List[List[SSTable]]:
@@ -177,20 +211,20 @@ class Compactor:
         return (self.options.base_level_size_bytes
                 * self.options.level_size_multiplier ** (level - 1))
 
-    def _oversized_level(self):
+    def _oversized_level(self, current: Version):
         # The last level has nowhere to push data; never select it.
         for level in range(1, self.options.max_levels - 1):
-            if self.version.level_bytes(level) > self.level_target_bytes(level):
+            if current.level_bytes(level) > self.level_target_bytes(level):
                 return level
         return None
 
     # ------------------------------------------------------------- compaction
 
-    def _compact_l0(self) -> None:
-        inputs_new = list(self.version.levels[0])
+    def _compact_l0(self, current: Version) -> None:
+        inputs_new = list(current.levels[0])
         low = min(t.min_key for t in inputs_new)
         high = max(t.max_key for t in inputs_new)
-        inputs_old = self.version.overlapping(1, low, high)
+        inputs_old = current.overlapping(1, low, high)
         self._merge(inputs_new, inputs_old, target_level=1)
 
     def compact_level_fully(self, level: int) -> None:
@@ -200,16 +234,17 @@ class Compactor:
         merge drops tombstones when ``level + 1`` is the bottommost
         populated level, like every other merge.
         """
-        newer = list(self.version.levels[level])
+        current = self.versions.current
+        newer = list(current.levels[level])
         low = min(t.min_key for t in newer)
         high = max(t.max_key for t in newer)
-        older = self.version.overlapping(level + 1, low, high)
+        older = current.overlapping(level + 1, low, high)
         self._merge(newer, older, target_level=level + 1)
 
-    def _compact_level(self, level: int) -> None:
-        table = self.version.levels[level][0]
-        inputs_old = self.version.overlapping(level + 1, table.min_key,
-                                              table.max_key)
+    def _compact_level(self, current: Version, level: int) -> None:
+        table = current.levels[level][0]
+        inputs_old = current.overlapping(level + 1, table.min_key,
+                                         table.max_key)
         self._merge([table], inputs_old, target_level=level + 1)
 
     def _merge(self, newer: List[SSTable], older: List[SSTable],
@@ -217,13 +252,28 @@ class Compactor:
         removed = newer + older
         drop_tombstones = self._is_bottom(target_level)
         outputs = self._merge_tables(removed, drop_tombstones)
-        self.version.install(target_level, outputs, removed)
-        self._retire(removed)
-        self.compactions_run += 1
+        self._install(VersionEdit().install(target_level, outputs, removed),
+                      removed)
         if not outputs and not drop_tombstones and any(
             t.num_entries for t in removed
         ):
             raise CompactionError("compaction dropped live entries")
+
+    def _install(self, edit: VersionEdit, removed: List[SSTable]) -> None:
+        """Install an edit and invalidate the serving cache's stale pages.
+
+        The removed tables' *files* are not touched here: the version set
+        queues each for retirement when its last referencing version dies,
+        and the db deletes queued files only after the next durable
+        manifest (crash ordering, PR 3).
+        """
+        if self.rebind_device is not None:
+            for table in edit.added_tables():
+                table.reader.rebind(self.rebind_device)
+        self.versions.install(edit)
+        for table in removed:
+            self.invalidate_cache.invalidate_file(table.path)
+        self.compactions_run += 1
 
     def _merge_tables(self, tables: List[SSTable],
                       drop_tombstones: bool) -> List[SSTable]:
@@ -310,28 +360,89 @@ class Compactor:
             records.append((key, entry.value))
         return keys, records
 
-    def _retire(self, tables: List[SSTable]) -> None:
-        """Drop the tables' cached pages now; queue the files for deletion.
-
-        The files stay on the device until :meth:`drain_obsolete` — after
-        the manifest write that stops referencing them — so a crash in
-        between can still recover from the old manifest.
-        """
-        for table in tables:
-            self.cache.invalidate_file(table.path)
-            self._obsolete.append(table.path)
-
-    def drain_obsolete(self) -> List[str]:
-        """Hand over (and forget) the files retired since the last drain."""
-        drained = self._obsolete
-        self._obsolete = []
-        return drained
-
     def _is_bottom(self, target_level: int) -> bool:
-        return all(not self.version.levels[lvl]
+        current = self.versions.current
+        return all(not current.levels[lvl]
                    for lvl in range(target_level + 1, self.options.max_levels))
 
     def _new_builder(self) -> SSTableBuilder:
         return SSTableBuilder(self.device, self._allocate_path(),
                               self.options.block_size_bytes,
                               self.options.filter_builder)
+
+
+class BackgroundCompactor:
+    """Daemon thread draining compaction triggers off the serving path.
+
+    ``kick`` wakes the thread (called after each flush install);
+    ``quiesce`` blocks until no work is pending or in flight (called by
+    ``compact_all`` and close so inline full compaction never races a
+    background merge); ``stop`` shuts the thread down.  The first
+    exception raised by background work is latched and re-raised to the
+    next quiesce/stop caller — background failures are never silent.
+
+    ``work`` runs one full trigger-drain + commit cycle; the caller
+    (the db) supplies it and is responsible for serializing merges with
+    any inline compaction via its compaction lock.
+    """
+
+    def __init__(self, work: Callable[[], None]) -> None:
+        self._work = work
+        self._cond = threading.Condition()
+        self._pending = False
+        self._busy = False
+        self._stopped = False
+        self._error: Optional[BaseException] = None
+        self.cycles = 0
+        self._thread = threading.Thread(
+            target=self._run, name="lsm-background-compaction", daemon=True)
+        self._thread.start()
+
+    def kick(self) -> None:
+        """Schedule a trigger check (idempotent while one is pending)."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._pending = True
+            self._cond.notify_all()
+
+    def quiesce(self) -> None:
+        """Wait until no background work is pending or running."""
+        with self._cond:
+            while (self._pending or self._busy) and not self._stopped:
+                self._cond.wait()
+        self._reraise()
+
+    def stop(self) -> None:
+        """Finish in-flight work, stop the thread, surface any error."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._thread.join(timeout=60.0)
+        self._reraise()
+
+    def _reraise(self) -> None:
+        error, self._error = self._error, None
+        if error is not None:
+            raise CompactionError(
+                f"background compaction failed: {error!r}") from error
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopped:
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                self._pending = False
+                self._busy = True
+            try:
+                self._work()
+            except BaseException as exc:  # latched, re-raised to callers
+                if self._error is None:
+                    self._error = exc
+            finally:
+                with self._cond:
+                    self._busy = False
+                    self.cycles += 1
+                    self._cond.notify_all()

@@ -14,6 +14,7 @@ siphoning exploits.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -26,7 +27,7 @@ from repro.common.errors import (
     TransientIOError,
 )
 from repro.common.rng import make_rng
-from repro.lsm.compaction import Compactor
+from repro.lsm.compaction import BackgroundCompactor, Compactor
 from repro.lsm.manifest import Manifest, ManifestEntry, ManifestLoad
 from repro.lsm.memtable import Entry, MemTable
 from repro.lsm.options import LSMOptions
@@ -38,7 +39,7 @@ from repro.lsm.recovery import (
     RecoveryReport,
 )
 from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
-from repro.lsm.version import Version
+from repro.lsm.version import Version, VersionEdit, VersionSet
 from repro.lsm.wal import WriteAheadLog
 from repro.storage.clock import SimClock
 from repro.storage.device import StorageDevice
@@ -76,16 +77,33 @@ class ProbePlan:
     for verdicts it actually consumes, so simulated time, verdicts and
     every counter are bit-identical with the plan on or off.  A missing
     entry (``None``) means "compute scalar", never "False".
+
+    The plan **pins** the version it was computed against: concurrent
+    flushes and background compactions install new versions without
+    disturbing the batch, and the pinned version's tables cannot retire
+    under it.  Batch drivers call :meth:`release` (idempotent) when the
+    batch is done; un-released plans are reclaimed at ``db.close()`` and
+    counted as leaks.
     """
 
-    __slots__ = ("_verdicts", "candidates")
+    __slots__ = ("_verdicts", "candidates", "version", "_versions")
 
-    def __init__(self) -> None:
+    def __init__(self, version: Optional[Version] = None,
+                 versions: Optional[VersionSet] = None) -> None:
         self._verdicts: Dict[int, Dict[bytes, bool]] = {}
         #: key -> tuple of candidate SSTables, memoized by the prepass so
         #: the replay need not repeat the version walk.  Valid for the
-        #: batch only: the version cannot change under a read-only batch.
+        #: batch only: the pinned version cannot change under the batch.
         self.candidates: Dict[bytes, tuple] = {}
+        #: the pinned version the prepass walked (None for bare plans).
+        self.version = version
+        self._versions = versions
+
+    def release(self) -> None:
+        """Unpin the plan's version (idempotent)."""
+        versions, self._versions = self._versions, None
+        if versions is not None:
+            versions.unpin(self.version)
 
     def add(self, filt, keys: List[bytes], verdicts: List[bool]) -> None:
         """Memoize ``filt``'s pure verdicts for ``keys``."""
@@ -123,16 +141,55 @@ class LSMTree:
         self._rng = rng
         self._memtable = MemTable(rng.spawn("memtable"))
         self._wal = WriteAheadLog(self.device, "wal/current.wal")
-        self._version = Version(self.options.max_levels)
+        self.versions = VersionSet(Version(self.options.max_levels))
         self._manifest = Manifest(self.device)
         self._next_file = 0
+        self._file_lock = threading.Lock()
+        self._commit_lock = threading.Lock()
+        self._compaction_lock = threading.Lock()
         self._compactor = Compactor(self.device, self.cache, self.options,
-                                    self._version, self._allocate_path)
+                                    self.versions, self._allocate_path)
         self.stats = DBStats()
         self._cost_rng = rng.spawn("costs")
         self._closed = False
+        #: Reader pins still outstanding when :meth:`close` reclaimed them.
+        self.leaked_pins = 0
+        self._snapshot_counter = 0
+        #: Scalar reads always pin: installs retire replaced tables
+        #: immediately (deleting their files once no version holds them),
+        #: and with the threaded wire server — or any caller mixing
+        #: threads — an install can race a read in *either* compaction
+        #: mode.  The pin is charge-free, so simulated time is untouched.
+        self._pin_reads = True
+        self._background: Optional[BackgroundCompactor] = None
+        self._bg_compactor: Optional[Compactor] = None
+        if self.options.background_compaction:
+            # Background merges read and write through a *silent* view of
+            # the device (shared files, throwaway clock/RNG/stats) and a
+            # private cache, so their I/O never perturbs the serving
+            # store's simulated time, RNG streams or cache state.  The
+            # serving cache is still invalidated for replaced tables, and
+            # new tables are rebound to the real device before install.
+            self._silent_device = self.device.silent_view()
+            self._silent_cache = PageCache(self._silent_device,
+                                           self.options.page_cache_bytes,
+                                           decoded_capacity=0)
+            self._silent_manifest = Manifest(self._silent_device)
+            self._bg_compactor = Compactor(
+                self._silent_device, self._silent_cache, self.options,
+                self.versions, self._allocate_path,
+                invalidate_cache=self.cache, rebind_device=self.device)
+            self._background = BackgroundCompactor(self._background_work)
         #: Filled by :meth:`reopen`; None for a freshly created tree.
         self.recovery_report: Optional[RecoveryReport] = None
+
+    def _background_work(self) -> None:
+        """One background cycle: drain triggers, then durably commit."""
+        with self._compaction_lock:
+            ran = self._bg_compactor.maybe_compact()
+        if ran:
+            self._commit_version(manifest=self._silent_manifest,
+                                 device=self._silent_device)
 
     # --------------------------------------------------------------- recovery
 
@@ -175,17 +232,19 @@ class LSMTree:
         report.manifest_corrupt_entries = load.corrupt_entries
 
         referenced = set()
+        levels: List[List[SSTable]] = [
+            [] for _ in range(db.options.max_levels)]
         for entry in load.entries:
             referenced.add(entry.path)
             db._bump_file_counter(entry.path)
             table = db._recover_table(entry, report)
             if table is None:
                 continue
-            if entry.level == 0:
-                db._version.levels[0].append(table)
-            else:
-                db._version.install(entry.level, [table], [])
+            # Manifest order preserves L0's newest-first flush order;
+            # deeper levels are re-sorted and overlap-checked on build.
+            levels[entry.level].append(table)
             report.tables_opened += 1
+        db.versions.reset(Version.from_levels(db.options.max_levels, levels))
         db._sweep_orphans(referenced, report)
 
         try:
@@ -412,10 +471,19 @@ class LSMTree:
         for key, entry in self._memtable.items():
             builder.add(key, entry)
         table = builder.finish()
-        self._version.add_l0(table)
+        self.versions.install(VersionEdit().add_l0(table))
         self._memtable = MemTable(self._rng.spawn(f"memtable-{self._next_file}"))
         self.stats.flushes += 1
-        self._compactor.maybe_compact()
+        if self._background is not None:
+            # Install + durable manifest now; merging happens off-thread,
+            # overlapping the caller's next operations.
+            self._commit_version()
+            if self.options.enable_wal:
+                self._wal.reset()
+            self._background.kick()
+            return table
+        with self._compaction_lock:
+            self._compactor.maybe_compact()
         self._commit_version()
         if self.options.enable_wal:
             self._wal.reset()
@@ -432,19 +500,28 @@ class LSMTree:
         """
         self._check_open()
         self.flush()
-        if self.options.compaction_style == "tiered":
-            self._compactor.merge_all_runs()
-        else:
-            # Push L0 down even below the trigger.
-            while self._version.levels[0]:
-                self._compactor._compact_l0()
-            while True:
-                populated = [lvl for lvl in range(1, self.options.max_levels)
-                             if self._version.levels[lvl]]
-                if len(populated) <= 1:
-                    break
-                self._compactor.compact_level_fully(populated[0])
-            self._compactor.maybe_compact()
+        if self._background is not None:
+            self._background.quiesce()
+        # In background mode the cascade runs inline through the silent
+        # compactor, so full compaction is uncharged like every other
+        # merge in that mode; the sync engine charges the real clock.
+        compactor = self._bg_compactor or self._compactor
+        with self._compaction_lock:
+            if self.options.compaction_style == "tiered":
+                compactor.merge_all_runs()
+            else:
+                # Push L0 down even below the trigger.
+                while self.versions.current.levels[0]:
+                    compactor._compact_l0(self.versions.current)
+                while True:
+                    current = self.versions.current
+                    populated = [lvl
+                                 for lvl in range(1, self.options.max_levels)
+                                 if current.levels[lvl]]
+                    if len(populated) <= 1:
+                        break
+                    compactor.compact_level_fully(populated[0])
+                compactor.maybe_compact()
         self._commit_version()
 
     def bulk_load(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
@@ -465,7 +542,7 @@ class LSMTree:
         equivalence baseline.
         """
         self._check_open()
-        if len(self._memtable) or self._version.total_tables():
+        if len(self._memtable) or self.versions.current.total_tables():
             raise ConfigError("bulk_load requires an empty tree")
         if self.options.build_threads <= 0:
             self._bulk_load_streaming(items)
@@ -493,7 +570,7 @@ class LSMTree:
                                            artifact))
             total_bytes += artifact.size_bytes
         level = self._deepest_fitting_level(total_bytes)
-        self._version.install(level, tables, [])
+        self.versions.install(VersionEdit().install(level, tables, []))
         self._commit_version()
 
     def _bulk_load_streaming(self, items: Iterable[Tuple[bytes, bytes]]
@@ -522,7 +599,7 @@ class LSMTree:
         if not tables:
             return
         level = self._deepest_fitting_level(total_bytes)
-        self._version.install(level, tables, [])
+        self.versions.install(VersionEdit().install(level, tables, []))
         self._commit_version()
 
     def _deepest_fitting_level(self, total_bytes: int) -> int:
@@ -547,18 +624,27 @@ class LSMTree:
         if entry is not None:
             self.stats.memtable_hits += 1
             return entry.value
-        for table in self._version.candidates_for_key(key):
-            if table.filter is not None:
-                self.stats.filter_checks += 1
-                self.charge_cost(costs.filter_query_cost_us)
-                if not table.filter.may_contain(key):
-                    self.stats.filter_negatives += 1
-                    continue
-            self.stats.table_reads += 1
-            entry = table.reader.get(key, self.cache, costs)
-            if entry is not None:
-                return entry.value
-        return None
+        pinned = None
+        if self._pin_reads:
+            version = pinned = self.versions.pin()
+        else:
+            version = self.versions.current
+        try:
+            for table in version.candidates_for_key(key):
+                if table.filter is not None:
+                    self.stats.filter_checks += 1
+                    self.charge_cost(costs.filter_query_cost_us)
+                    if not table.filter.may_contain(key):
+                        self.stats.filter_negatives += 1
+                        continue
+                self.stats.table_reads += 1
+                entry = table.reader.get(key, self.cache, costs)
+                if entry is not None:
+                    return entry.value
+            return None
+        finally:
+            if pinned is not None:
+                self.versions.unpin(pinned)
 
     def get_timed(self, key: bytes) -> Tuple[Optional[bytes], float]:
         """``get`` plus its simulated response time in microseconds."""
@@ -585,8 +671,9 @@ class LSMTree:
         """
         if not self.options.probe_engine:
             return None
+        version = self.versions.pin()
         memtable_get = self._memtable.get
-        candidates_for_key = self._version.candidates_for_key
+        candidates_for_key = version.candidates_for_key
         groups: Dict[int, Tuple[object, List[bytes]]] = {}
         key_candidates: Dict[bytes, tuple] = {}
         seen = set()
@@ -607,8 +694,9 @@ class LSMTree:
                     groups[id(filt)] = entry = (filt, [])
                 entry[1].append(key)
         if not groups:
+            self.versions.unpin(version)
             return None
-        plan = ProbePlan()
+        plan = ProbePlan(version, self.versions)
         plan.candidates = key_candidates
         for filt, filt_keys in groups.values():
             plan.add(filt, filt_keys, filt.probe_many(filt_keys))
@@ -632,7 +720,13 @@ class LSMTree:
         costs = self.options.costs
         stats = self.stats
         cache = self.cache
-        candidates_for_key = self._version.candidates_for_key
+        versions = self.versions
+        # A plan fixes the batch's version (already pinned by probe_plan);
+        # without one the closure re-reads the current version per call —
+        # lock-free for the sync engine, a per-call pin when background
+        # installs can race the table walk.
+        fixed_version = plan.version if plan is not None else None
+        pin_per_call = self._pin_reads and fixed_version is None
         base_cost = costs.get_base_cost_us + costs.memtable_lookup_cost_us
         filter_cost = costs.filter_query_cost_us
         jitter = costs.jitter
@@ -653,33 +747,45 @@ class LSMTree:
             if entry is not None:
                 stats.memtable_hits += 1
                 return entry.value
+            pinned = None
             tables = plan_candidates(key)
             if tables is None:
-                tables = candidates_for_key(key)
-            for table in tables:
-                filt = table.filter
-                if filt is not None:
-                    stats.filter_checks += 1
-                    if jitter:
-                        clock_charge(filter_cost * max(0.1, gauss(1.0, jitter)))
+                version = fixed_version
+                if version is None:
+                    if pin_per_call:
+                        version = pinned = versions.pin()
                     else:
-                        clock_charge(filter_cost)
-                    if plan_lookup is not None:
-                        passed = plan_lookup(filt, key)
-                        if passed is None:
-                            passed = filt.may_contain(key)
+                        version = versions.current
+                tables = version.candidates_for_key(key)
+            try:
+                for table in tables:
+                    filt = table.filter
+                    if filt is not None:
+                        stats.filter_checks += 1
+                        if jitter:
+                            clock_charge(
+                                filter_cost * max(0.1, gauss(1.0, jitter)))
                         else:
-                            filt.stats.record_point(passed)
-                    else:
-                        passed = filt.may_contain(key)
-                    if not passed:
-                        stats.filter_negatives += 1
-                        continue
-                stats.table_reads += 1
-                entry = table.reader.get(key, cache, costs)
-                if entry is not None:
-                    return entry.value
-            return None
+                            clock_charge(filter_cost)
+                        if plan_lookup is not None:
+                            passed = plan_lookup(filt, key)
+                            if passed is None:
+                                passed = filt.may_contain(key)
+                            else:
+                                filt.stats.record_point(passed)
+                        else:
+                            passed = filt.may_contain(key)
+                        if not passed:
+                            stats.filter_negatives += 1
+                            continue
+                    stats.table_reads += 1
+                    entry = table.reader.get(key, cache, costs)
+                    if entry is not None:
+                        return entry.value
+                return None
+            finally:
+                if pinned is not None:
+                    versions.unpin(pinned)
 
         return get_one
 
@@ -692,22 +798,32 @@ class LSMTree:
         charge, draw, and counter).
         """
         keys = list(keys)
-        get_one = self.getter(self.probe_plan(keys))
-        return [get_one(key) for key in keys]
+        plan = self.probe_plan(keys)
+        try:
+            get_one = self.getter(plan)
+            return [get_one(key) for key in keys]
+        finally:
+            if plan is not None:
+                plan.release()
 
     def get_many_timed(self, keys: Iterable[bytes]
                        ) -> List[Tuple[Optional[bytes], float]]:
         """Batch ``get_timed``: per-key (value, simulated elapsed us)."""
         keys = list(keys)
-        get_one = self.getter(self.probe_plan(keys))
-        clock = self.clock
-        out: List[Tuple[Optional[bytes], float]] = []
-        append = out.append
-        for key in keys:
-            start = clock.now_us
-            value = get_one(key)
-            append((value, clock.now_us - start))
-        return out
+        plan = self.probe_plan(keys)
+        try:
+            get_one = self.getter(plan)
+            clock = self.clock
+            out: List[Tuple[Optional[bytes], float]] = []
+            append = out.append
+            for key in keys:
+                start = clock.now_us
+                value = get_one(key)
+                append((value, clock.now_us - start))
+            return out
+        finally:
+            if plan is not None:
+                plan.release()
 
     def range_query(self, low: bytes, high: bytes,
                     limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
@@ -723,31 +839,37 @@ class LSMTree:
         costs = self.options.costs
         self.stats.range_queries += 1
         self.charge_cost(costs.range_seek_cost_us)
-        sources = [self._bounded(self._memtable.items_from(low), high)]
-        for level in range(self.options.max_levels):
-            for table in self.version.overlapping(level, low, high):
-                skip = False
-                if table.filter is not None and hasattr(table.filter,
-                                                        "may_contain_range"):
-                    self.stats.filter_checks += 1
-                    self.charge_cost(costs.filter_query_cost_us)
-                    if not table.filter.may_contain_range(low, high):
-                        self.stats.filter_negatives += 1
-                        skip = True
-                if not skip:
-                    self.stats.table_reads += 1
-                    sources.append(self._bounded(
-                        table.reader.iterate_from(low, self.cache), high))
-        from repro.lsm.iterator import merge_entries
-        out: List[Tuple[bytes, bytes]] = []
-        for key, entry in merge_entries(sources):
-            self.charge_cost(costs.range_next_cost_us)
-            if entry.is_tombstone:
-                continue
-            out.append((key, entry.value))
-            if limit is not None and len(out) >= limit:
-                break
-        return out
+        # Scans read blocks lazily across the merge loop, so the version
+        # stays pinned for the whole query regardless of engine mode.
+        version = self.versions.pin()
+        try:
+            sources = [self._bounded(self._memtable.items_from(low), high)]
+            for level in range(self.options.max_levels):
+                for table in version.overlapping(level, low, high):
+                    skip = False
+                    if table.filter is not None and hasattr(
+                            table.filter, "may_contain_range"):
+                        self.stats.filter_checks += 1
+                        self.charge_cost(costs.filter_query_cost_us)
+                        if not table.filter.may_contain_range(low, high):
+                            self.stats.filter_negatives += 1
+                            skip = True
+                    if not skip:
+                        self.stats.table_reads += 1
+                        sources.append(self._bounded(
+                            table.reader.iterate_from(low, self.cache), high))
+            from repro.lsm.iterator import merge_entries
+            out: List[Tuple[bytes, bytes]] = []
+            for key, entry in merge_entries(sources):
+                self.charge_cost(costs.range_next_cost_us)
+                if entry.is_tombstone:
+                    continue
+                out.append((key, entry.value))
+                if limit is not None and len(out) >= limit:
+                    break
+            return out
+        finally:
+            self.versions.unpin(version)
 
     def iterator(self, low: bytes = b"", high: Optional[bytes] = None):
         """Forward cursor over ``[low, high]`` (RocksDB-iterator analogue).
@@ -761,21 +883,27 @@ class LSMTree:
         costs = self.options.costs
         self.charge_cost(costs.range_seek_cost_us)
         effective_high = high if high is not None else b"\xff" * 64
-        sources = [self._memtable.items_from(low)]
-        for level in range(self.options.max_levels):
-            for table in self.version.overlapping(level, low, effective_high):
-                if (high is not None and table.filter is not None
-                        and hasattr(table.filter, "may_contain_range")):
-                    self.stats.filter_checks += 1
-                    self.charge_cost(costs.filter_query_cost_us)
-                    if not table.filter.may_contain_range(low, high):
-                        self.stats.filter_negatives += 1
-                        continue
-                self.stats.table_reads += 1
-                sources.append(table.reader.iterate_from(low, self.cache))
+        version = self.versions.pin()
+        try:
+            sources = [self._memtable.items_from(low)]
+            for level in range(self.options.max_levels):
+                for table in version.overlapping(level, low, effective_high):
+                    if (high is not None and table.filter is not None
+                            and hasattr(table.filter, "may_contain_range")):
+                        self.stats.filter_checks += 1
+                        self.charge_cost(costs.filter_query_cost_us)
+                        if not table.filter.may_contain_range(low, high):
+                            self.stats.filter_negatives += 1
+                            continue
+                    self.stats.table_reads += 1
+                    sources.append(table.reader.iterate_from(low, self.cache))
+        except BaseException:
+            self.versions.unpin(version)
+            raise
         return DBIterator(
             sources, high=high,
-            on_step=lambda: self.charge_cost(costs.range_next_cost_us))
+            on_step=lambda: self.charge_cost(costs.range_next_cost_us),
+            on_close=lambda: self.versions.unpin(version))
 
     @staticmethod
     def _bounded(iterator, high: bytes):
@@ -795,7 +923,7 @@ class LSMTree:
         simulated time and performs no I/O.
         """
         self._check_open()
-        for table in self._version.candidates_for_key(key):
+        for table in self.versions.current.candidates_for_key(key):
             if table.filter is None or table.filter.may_contain(key):
                 return True
         return False
@@ -812,35 +940,40 @@ class LSMTree:
         self._check_open()
         keys = list(keys)
         plan = self.probe_plan(keys, include_memtable_hits=True)
-        candidates_for_key = self._version.candidates_for_key
+        version = plan.version if plan is not None else self.versions.current
+        candidates_for_key = version.candidates_for_key
         plan_lookup = plan.lookup if plan is not None else None
         plan_candidates = (plan.candidates.get if plan is not None
                            else lambda _key: None)
-        out: List[bool] = []
-        append = out.append
-        for key in keys:
-            passed_any = False
-            tables = plan_candidates(key)
-            if tables is None:
-                tables = candidates_for_key(key)
-            for table in tables:
-                filt = table.filter
-                if filt is None:
-                    passed_any = True
-                    break
-                if plan_lookup is not None:
-                    passed = plan_lookup(filt, key)
-                    if passed is None:
-                        passed = filt.may_contain(key)
+        try:
+            out: List[bool] = []
+            append = out.append
+            for key in keys:
+                passed_any = False
+                tables = plan_candidates(key)
+                if tables is None:
+                    tables = candidates_for_key(key)
+                for table in tables:
+                    filt = table.filter
+                    if filt is None:
+                        passed_any = True
+                        break
+                    if plan_lookup is not None:
+                        passed = plan_lookup(filt, key)
+                        if passed is None:
+                            passed = filt.may_contain(key)
+                        else:
+                            filt.stats.record_point(passed)
                     else:
-                        filt.stats.record_point(passed)
-                else:
-                    passed = filt.may_contain(key)
-                if passed:
-                    passed_any = True
-                    break
-            append(passed_any)
-        return out
+                        passed = filt.may_contain(key)
+                    if passed:
+                        passed_any = True
+                        break
+                append(passed_any)
+            return out
+        finally:
+            if plan is not None:
+                plan.release()
 
     def range_filters_pass(self, low: bytes, high: bytes) -> bool:
         """Ground-truth range-filter decision for ``[low, high]``.
@@ -853,8 +986,9 @@ class LSMTree:
         self._check_open()
         if low > high:
             return False
+        current = self.versions.current
         for level in range(self.options.max_levels):
-            for table in self._version.overlapping(level, low, high):
+            for table in current.overlapping(level, low, high):
                 filt = table.filter
                 if filt is None or not hasattr(filt, "may_contain_range"):
                     return True
@@ -864,17 +998,51 @@ class LSMTree:
 
     @property
     def version(self) -> Version:
-        """The live level structure (read-only use)."""
-        return self._version
+        """The current immutable version (read-only use, no pin)."""
+        return self.versions.current
 
     # -------------------------------------------------------------- lifecycle
 
+    def snapshot(self):
+        """Consistent point-in-time read view of the whole store.
+
+        Pins the current version and freezes the memtable; the returned
+        :class:`~repro.lsm.snapshot.SnapshotView` exposes the point-read
+        surface of the tree over its own simulated clock and RNG streams,
+        so concurrent writes and compactions cannot perturb — or be
+        observed by — queries against it.  Close it to release the pin.
+        """
+        self._check_open()
+        from repro.lsm.snapshot import SnapshotView
+        with self._file_lock:
+            snapshot_id = self._snapshot_counter
+            self._snapshot_counter += 1
+        return SnapshotView(self, snapshot_id)
+
     def close(self) -> None:
-        """Flush and mark the tree unusable."""
+        """Flush, stop background work, reclaim pins, and mark unusable.
+
+        Obsolete files still queued for retirement are deleted (after a
+        final durable manifest); the *current* version's files are of
+        course kept, their mappings retired via the doomed-unmap path so
+        a still-pinned region unmaps at its last unpin instead of
+        tearing views out from under a straggling reader.
+        """
         if self._closed:
             return
         self.flush()
+        if self._background is not None:
+            try:
+                self._background.quiesce()
+            finally:
+                self._background.stop()
+        #: Readers that never unpinned (leaked plans/iterators) are
+        #: reclaimed here so their versions' tables can retire.
+        self.leaked_pins = self.versions.force_release()
         self._commit_version()
+        self.versions.close()
+        for table in self.versions.drain_retired():
+            table.reader.unmap()
         self._closed = True
 
     def charge_cost(self, base_us: float) -> None:
@@ -893,37 +1061,50 @@ class LSMTree:
             raise DBClosedError("operation on closed LSMTree")
 
     def _allocate_path(self) -> str:
-        path = f"sst/{self._next_file:06d}.sst"
-        self._next_file += 1
-        return path
+        with self._file_lock:
+            path = f"sst/{self._next_file:06d}.sst"
+            self._next_file += 1
+            return path
 
-    def _write_manifest(self) -> None:
+    def _write_manifest(self, manifest: Optional[Manifest] = None) -> None:
         entries = []
-        for level, tables in enumerate(self._version.levels):
+        for level, tables in enumerate(self.versions.current.levels):
             for table in tables:
                 entries.append(ManifestEntry(level, table.path,
                                              table.num_entries,
                                              table.size_bytes))
-        self._manifest.write(entries)
+        (manifest or self._manifest).write(entries)
 
-    def _commit_version(self) -> None:
+    def _commit_version(self, manifest: Optional[Manifest] = None,
+                        device: Optional[StorageDevice] = None) -> None:
         """Durably record the live version, then delete what it dropped.
 
-        Obsolete files queued by compaction are removed only here, after
-        the manifest stops referencing them — the other half of the
-        crash-ordering contract (see :meth:`flush`).
+        Obsolete files queued by version retirement are removed only
+        here, after a manifest that no longer references them is durable
+        — the crash-ordering contract (see :meth:`flush`).  The order
+        under the commit lock matters: the retired queue is drained
+        *before* the manifest snapshot is taken, so a table that loses
+        its last reference during the manifest write stays queued for
+        the next commit rather than being deleted out from under the
+        manifest generation just written.  Background commits pass the
+        silent manifest/device so their bookkeeping stays uncharged.
         """
-        self._write_manifest()
-        for path in self._compactor.drain_obsolete():
-            self.device.delete_file(path)
+        device = device or self.device
+        with self._commit_lock:
+            retired = self.versions.drain_retired()
+            self._write_manifest(manifest)
+            for table in retired:
+                device.delete_file(table.path)
+                table.reader.unmap()
 
     # ------------------------------------------------------------------ intro
     def describe(self) -> dict:
         """Summary of the tree's shape (reports, examples)."""
+        current = self.versions.current
         return {
-            "levels": self._version.describe(),
+            "levels": current.describe(),
             "memtable_entries": len(self._memtable),
-            "total_tables": self._version.total_tables(),
+            "total_tables": current.total_tables(),
             "filter": (self.options.filter_builder.name
                        if self.options.filter_builder else None),
             "cache_used_bytes": self.cache.used_bytes,

@@ -44,21 +44,28 @@ class DBIterator:
     """Forward cursor over a merged, tombstone-free view of the tree.
 
     Positions on the first live key >= ``low`` and advances with
-    :meth:`next`.  The cursor captures the table set at construction time;
-    it stays coherent while the tree is only read, but a flush or
-    compaction after construction may delete underlying files — consume
-    cursors before mutating, as with RocksDB iterators pinned to a
-    superseded version.
+    :meth:`next`.  The cursor **pins** the version it was built from
+    (RocksDB iterators pinned to a superseded version): flushes and
+    compactions after construction install new versions without moving
+    or retiring the cursor's tables.  The pin is released when the
+    cursor exhausts, or by :meth:`close` for a cursor abandoned early.
     """
 
     def __init__(self, sources: List[Iterable[Tuple[bytes, Entry]]],
                  high: Optional[bytes] = None,
-                 on_step=None) -> None:
+                 on_step=None, on_close=None) -> None:
         self._merged = merge_entries(sources)
         self._high = high
         self._on_step = on_step
+        self._on_close = on_close
         self._current: Optional[Tuple[bytes, bytes]] = None
         self._advance()
+
+    def close(self) -> None:
+        """Release the cursor's version pin (idempotent)."""
+        on_close, self._on_close = self._on_close, None
+        if on_close is not None:
+            on_close()
 
     def _advance(self) -> None:
         for key, entry in self._merged:
@@ -71,6 +78,7 @@ class DBIterator:
             self._current = (key, entry.value)
             return
         self._current = None
+        self.close()
 
     @property
     def valid(self) -> bool:

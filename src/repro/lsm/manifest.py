@@ -116,20 +116,33 @@ class Manifest:
         """Fault-tolerant read for recovery: newest readable source wins.
 
         Tries ``MANIFEST``, then ``MANIFEST.new`` (complete but not yet
-        swapped in), then ``MANIFEST.prev``.  Within the winning file,
-        entry lines failing their checksum are skipped and counted —
-        the caller decides what to do about the tables they referenced.
+        swapped in), then ``MANIFEST.prev``.  Within a committed source
+        (``MANIFEST``/``.prev``), entry lines failing their checksum are
+        skipped and counted — the caller decides what to do about the
+        tables they referenced.  The staging file is held to a stricter
+        standard: ``.new`` only ever exists because a crash interrupted
+        the atomic swap, so a ``.new`` with *any* damage was torn
+        mid-create and therefore never committed — it is debris, not
+        data, and is ignored rather than reported as a corrupt manifest
+        (a lone torn ``.new`` does not even count as "a manifest
+        existed": the store legitimately has no committed version yet
+        and the WAL carries the state).
         """
         existed = False
-        for source in (self.path, self.path + ".new", self.path + ".prev"):
+        staging = self.path + ".new"
+        for source in (self.path, staging, self.path + ".prev"):
             if not self.device.exists(source):
                 continue
-            existed = True
             raw = self.device.read(source, 0, self.device.file_size(source))
             try:
                 entries, corrupt, legacy = self._parse(raw)
             except CorruptionError:
+                if source != staging:
+                    existed = True
                 continue
+            if source == staging and corrupt:
+                continue
+            existed = True
             return ManifestLoad(entries=entries, source=source,
                                 corrupt_entries=corrupt, legacy=legacy)
         return ManifestLoad(unreadable=existed)

@@ -91,6 +91,14 @@ class LSMOptions:
     #: selects the pre-engine scalar probes (kept as the equivalence and
     #: benchmark baseline, mirroring ``build_threads=0``).
     probe_engine: bool = True
+    #: Run leveled compaction on a background thread: flushes install the
+    #: L0 table and return immediately; merges run concurrently with
+    #: serving through the MVCC version set (readers pin snapshots, so
+    #: compaction never blocks the read path).  Background I/O charges a
+    #: throwaway clock — by design it is invisible in simulated time.
+    #: Incompatible with the tiered style, whose whole-L0 splice assumes
+    #: no concurrent flushes.
+    background_compaction: bool = False
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
 
@@ -116,3 +124,7 @@ class LSMOptions:
             raise ConfigError("decoded cache entries must be non-negative")
         if self.build_threads < 0:
             raise ConfigError("build_threads must be non-negative")
+        if self.background_compaction and self.compaction_style == "tiered":
+            raise ConfigError(
+                "background compaction requires the leveled style "
+                "(tiered's whole-L0 splice assumes no concurrent flushes)")

@@ -21,12 +21,12 @@ import struct
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
-from repro.common.errors import ConfigError, CorruptionError
+from repro.common.errors import ConfigError, CorruptionError, StorageError
 from repro.filters.base import Filter, FilterBuilder
 from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.memtable import Entry
 from repro.lsm.options import CostModel
-from repro.storage.device import StorageDevice
+from repro.storage.device import MappedRegion, StorageDevice
 from repro.storage.page_cache import PageCache
 
 _FOOTER = struct.Struct("<QIQIQIQ")
@@ -152,7 +152,13 @@ class SSTableBuilder:
 
 
 class SSTableReader:
-    """Query-side view: pinned index + page-cached data block reads."""
+    """Query-side view: pinned index + page-cached data block reads.
+
+    Each reader maps its file at construction (:class:`MappedRegion`,
+    the simulated ``mmap``); data-block decodes borrow zero-copy views
+    of the mapping, and the region is unmapped via :meth:`unmap` only
+    when the table retires — deferred past the last snapshot pin.
+    """
 
     def __init__(self, device: StorageDevice, path: str,
                  index_entries: Optional[List[Tuple[bytes, BlockHandle]]] = None,
@@ -167,6 +173,10 @@ class SSTableReader:
             index_entries, num_entries = self._load_metadata()
         self._index = index_entries
         self.num_entries = num_entries or 0
+        try:
+            self.region: Optional[MappedRegion] = device.map_file(path)
+        except StorageError:
+            self.region = None
 
     @classmethod
     def open(cls, device: StorageDevice, path: str) -> "SSTableReader":
@@ -242,15 +252,21 @@ class SSTableReader:
         Returns the entry (value or tombstone) or None.  This is the I/O
         the attack's timing oracle observes: exactly one data block read
         when the filter (checked by the caller) passed the key.
+
+        Charges go to the *cache's* device clock: the cache is the read
+        context (a snapshot reading through its private cache charges
+        its own clock), and for the live store it is the same object as
+        ``self.device.clock``.
         """
-        self.device.clock.charge(costs.index_lookup_cost_us)
+        clock = cache.device.clock
+        clock.charge(costs.index_lookup_cost_us)
         block_index = self._block_index_for(key)
         if block_index is None:
             return None
         handle = self._index[block_index][1]
         block = cache.read_decoded(self.path, handle.offset, handle.length,
-                                   Block)
-        self.device.clock.charge(costs.block_search_cost_us)
+                                   Block, region=self.region)
+        clock.charge(costs.block_search_cost_us)
         return block.get(key)
 
     def iterate_from(self, low: bytes, cache: PageCache
@@ -262,7 +278,8 @@ class SSTableReader:
         for bi in range(start, len(self._index)):
             handle = self._index[bi][1]
             block = cache.read_decoded(self.path, handle.offset,
-                                       handle.length, Block)
+                                       handle.length, Block,
+                                       region=self.region)
             index = block.lower_bound(low) if bi == start else 0
             for record_index in range(index, len(block)):
                 yield block.record_at(record_index)
@@ -288,6 +305,22 @@ class SSTableReader:
         from repro.filters.serialize import deserialize_filter
         return deserialize_filter(
             self.device.read(self.path, handle.offset, handle.length))
+
+    def rebind(self, device: StorageDevice) -> "SSTableReader":
+        """Point future I/O charges at ``device``.
+
+        Background compaction builds tables over a silent device view;
+        before installing them into the serving version, the db rebinds
+        them to the real device so foreground reads charge the real
+        clock.  The mapping is shared state and needs no rebinding.
+        """
+        self.device = device
+        return self
+
+    def unmap(self) -> None:
+        """Retire the mapping: unmap now, or at the last reader unpin."""
+        if self.region is not None:
+            self.region.mark_doomed()
 
     @property
     def num_blocks(self) -> int:

@@ -265,6 +265,13 @@ class SweepResult:
     total_mutations: int = 0
     points_run: int = 0
     failures: List[CrashPointResult] = field(default_factory=list)
+    #: Crash points whose recovery flagged ``data_suspect`` — it had to
+    #: quarantine or discard something it could not trust.  Expected at
+    #: points that tear a durable structure mid-write; tracked so suites
+    #: can assert the *clean* points (e.g. the install-to-retire window,
+    #: where every file is either fully durable or safely absent) never
+    #: raise suspicion.
+    suspect_points: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -308,6 +315,8 @@ def crash_point_sweep(seed: int, num_ops: int = 200,
         result.points_run += 1
         if not point.ok:
             result.failures.append(point)
+        if point.report is not None and point.report.data_suspect:
+            result.suspect_points.append(crash_at)
         if progress is not None and crash_at % 50 == 0:
             progress(f"seed {seed}: crash point {crash_at}/{total}")
     return result

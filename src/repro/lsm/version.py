@@ -1,58 +1,175 @@
-"""Level structure of the tree (the "version" in LSM terminology).
+"""Level structure of the tree, as immutable MVCC versions.
 
 Level 0 holds whole-memtable flushes, newest first, whose key ranges may
 overlap; levels 1 and deeper hold non-overlapping tables sorted by key
 range, so a point lookup touches at most one table per deep level.  This
 is the paper's section 2.2 layout and the reason a non-present key without
 filters would cost one probe per L0 table plus one per deeper level.
+
+MVCC model (DESIGN.md section 12):
+
+* :class:`Version` is **immutable** — levels are tuples of tuples.  A
+  reader holding a version can walk it without any lock, concurrently
+  with flushes and compactions, and always sees one consistent table set.
+* :class:`VersionEdit` is a description of a change (add an L0 flush,
+  replace tables in a compaction); :meth:`Version.apply` produces the
+  successor version without touching the original.
+* :class:`VersionSet` owns the current version and the refcounts: readers
+  :meth:`~VersionSet.pin` the version they start from and
+  :meth:`~VersionSet.unpin` it when done; an SSTable's file is retired
+  only once no live version (current or pinned) references it any more —
+  this folds the old ``retire``/``drain_obsolete`` deferral into version
+  lifetime.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.common.errors import LSMError
+from repro.common.errors import CompactionError, LSMError
 from repro.lsm.sstable import SSTable
 
 
-class Version:
-    """Mutable registry of live SSTables per level."""
+def _sorted_level(tables: Sequence[SSTable], level: int) -> Tuple[SSTable, ...]:
+    """Sort a deep level by min_key and validate non-overlap."""
+    ordered = sorted(tables, key=lambda t: t.min_key)
+    for i in range(1, len(ordered)):
+        if ordered[i - 1].max_key >= ordered[i].min_key:
+            raise LSMError(
+                f"overlapping tables installed at level {level}: "
+                f"{ordered[i - 1].path} and {ordered[i].path}"
+            )
+    return tuple(ordered)
 
-    def __init__(self, max_levels: int) -> None:
+
+class VersionEdit:
+    """A described change from one version to its successor.
+
+    Edits accumulate operations (in application order) and are applied
+    atomically by :meth:`VersionSet.install`.  Three operation kinds
+    cover every mutation the tree performs:
+
+    * ``add_l0(table)`` — a fresh memtable flush, prepended (newest
+      first).
+    * ``install(level, added, removed)`` — a leveled compaction result:
+      drop ``removed`` (by path, from every level) and insert ``added``
+      at ``level``.
+    * ``replace_l0(tables, removed)`` — a tiered-compaction splice: the
+      full new L0 run list, with ``removed`` recorded for retirement.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: List[tuple] = []
+
+    def add_l0(self, table: SSTable) -> "VersionEdit":
+        self.ops.append(("add_l0", table))
+        return self
+
+    def install(self, level: int, added: Sequence[SSTable],
+                removed: Sequence[SSTable]) -> "VersionEdit":
+        self.ops.append(("install", level, tuple(added), tuple(removed)))
+        return self
+
+    def replace_l0(self, tables: Sequence[SSTable],
+                   removed: Sequence[SSTable]) -> "VersionEdit":
+        self.ops.append(("replace_l0", tuple(tables), tuple(removed)))
+        return self
+
+    def removed_paths(self) -> List[str]:
+        """Paths this edit removes (for conflict checks and retirement)."""
+        out: List[str] = []
+        for op in self.ops:
+            if op[0] == "install":
+                out.extend(t.path for t in op[3])
+            elif op[0] == "replace_l0":
+                out.extend(t.path for t in op[2])
+        return out
+
+    def added_tables(self) -> List[SSTable]:
+        """Tables this edit introduces."""
+        out: List[SSTable] = []
+        for op in self.ops:
+            if op[0] == "add_l0":
+                out.append(op[1])
+            elif op[0] == "install":
+                out.extend(op[2])
+            elif op[0] == "replace_l0":
+                out.extend(op[2])
+        return out
+
+
+class Version:
+    """Immutable registry of live SSTables per level.
+
+    ``levels`` is a tuple of per-level tuples: level 0 in newest-first
+    flush order, deeper levels sorted by ``min_key``.  All read methods
+    are safe to call from any thread without locks; updates go through
+    :meth:`apply`, which returns a new version.
+    """
+
+    __slots__ = ("max_levels", "levels", "_max_keys")
+
+    def __init__(self, max_levels: int,
+                 levels: Optional[Sequence[Sequence[SSTable]]] = None) -> None:
         self.max_levels = max_levels
-        # levels[0]: newest-first flush order; levels[1:]: sorted by min_key.
-        self.levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
-        # Cached per-level max_key arrays for binary search on the hot path.
+        if levels is None:
+            self.levels: Tuple[Tuple[SSTable, ...], ...] = tuple(
+                () for _ in range(max_levels))
+        else:
+            self.levels = tuple(tuple(tables) for tables in levels)
+        # Lazily-built per-level max_key arrays for binary search on the
+        # hot path.  Safe under concurrency: the computed list is
+        # identical no matter which thread builds it first.
         self._max_keys: List[Optional[List[bytes]]] = [None] * max_levels
+
+    @classmethod
+    def from_levels(cls, max_levels: int,
+                    levels: Sequence[Sequence[SSTable]]) -> "Version":
+        """Build a version from recovered levels, validating deep levels.
+
+        L0 order is preserved as given (reopen reconstructs newest-first
+        from the manifest); levels 1+ are sorted and overlap-checked.
+        """
+        fixed: List[Tuple[SSTable, ...]] = [tuple(levels[0])] if levels else []
+        for level in range(1, max_levels):
+            tables = levels[level] if level < len(levels) else ()
+            fixed.append(_sorted_level(tables, level))
+        if not fixed:
+            fixed = [()] * max_levels
+        return cls(max_levels, fixed)
 
     # ---------------------------------------------------------------- updates
 
-    def add_l0(self, table: SSTable) -> None:
-        """Register a fresh memtable flush (newest first)."""
-        self.levels[0].insert(0, table)
-
-    def install(self, level: int, added: List[SSTable],
-                removed: List[SSTable]) -> None:
-        """Apply a compaction result: drop ``removed``, insert ``added``."""
-        removed_paths = {t.path for t in removed}
-        for lvl in range(self.max_levels):
-            self.levels[lvl] = [t for t in self.levels[lvl]
-                                if t.path not in removed_paths]
-            self._max_keys[lvl] = None
-        if level == 0:
-            for table in reversed(added):
-                self.levels[0].insert(0, table)
-        else:
-            merged = self.levels[level] + added
-            merged.sort(key=lambda t: t.min_key)
-            for i in range(1, len(merged)):
-                if merged[i - 1].max_key >= merged[i].min_key:
-                    raise LSMError(
-                        f"overlapping tables installed at level {level}: "
-                        f"{merged[i - 1].path} and {merged[i].path}"
-                    )
-            self.levels[level] = merged
+    def apply(self, edit: VersionEdit) -> "Version":
+        """Produce the successor version described by ``edit``."""
+        levels: List[Tuple[SSTable, ...]] = list(self.levels)
+        for op in edit.ops:
+            if op[0] == "add_l0":
+                levels[0] = (op[1],) + levels[0]
+            elif op[0] == "install":
+                _, level, added, removed = op
+                removed_paths = {t.path for t in removed}
+                if removed_paths:
+                    levels = [
+                        tuple(t for t in tables if t.path not in removed_paths)
+                        for tables in levels
+                    ]
+                if added:
+                    if level == 0:
+                        levels[0] = tuple(added) + levels[0]
+                    else:
+                        levels[level] = _sorted_level(
+                            levels[level] + tuple(added), level)
+            elif op[0] == "replace_l0":
+                _, tables, _removed = op
+                levels[0] = tables
+            else:  # pragma: no cover - construction guards op names
+                raise LSMError(f"unknown version edit op {op[0]!r}")
+        return Version(self.max_levels, levels)
 
     # ----------------------------------------------------------------- search
 
@@ -116,3 +233,165 @@ class Version:
                 "entries": sum(t.num_entries for t in tables),
             })
         return out
+
+
+class VersionSet:
+    """The chain of versions plus reader refcounts and table lifetimes.
+
+    ``current`` is a plain attribute: reading it is a single atomic load
+    (Python reference assignment), so the hot read path never takes the
+    lock.  Everything that *changes* state — pinning, unpinning,
+    installing — synchronizes on ``_lock``.
+
+    Table lifetime rule: a table's file may be deleted only when no
+    *live* version (the current one, or any version still pinned by a
+    reader) references it.  ``install`` moves tables that drop to zero
+    references onto the retired queue immediately; a table still pinned
+    by an old version joins the queue when that version's last pin is
+    released.  :meth:`drain_retired` hands the queue to the caller —
+    the db consumes it at manifest-commit time, keeping PR 3's crash
+    ordering (never delete before the manifest that forgets the table
+    is durable).
+    """
+
+    def __init__(self, initial: Version) -> None:
+        self.current = initial
+        self._lock = threading.Lock()
+        #: version -> outstanding reader pins.
+        self._pins: Dict[Version, int] = {}
+        #: path -> number of live versions referencing the table.
+        self._table_refs: Dict[str, int] = {}
+        #: tables whose last reference dropped; awaiting physical retire.
+        self._retired: List[SSTable] = []
+        self._closed = False
+        for table in initial.all_tables():
+            self._table_refs[table.path] = 1
+
+    def reset(self, version: Version) -> None:
+        """Replace the chain with a recovered version (reopen only).
+
+        Only legal while nothing is pinned: recovery runs before the
+        tree serves any reader.
+        """
+        with self._lock:
+            if self._pins:
+                raise LSMError("cannot reset a version set with active pins")
+            self.current = version
+            self._table_refs = {t.path: 1 for t in version.all_tables()}
+            self._retired = []
+
+    # --------------------------------------------------------------- pinning
+
+    def pin(self) -> Version:
+        """Acquire the current version for a reader; pair with unpin."""
+        with self._lock:
+            version = self.current
+            self._pins[version] = self._pins.get(version, 0) + 1
+            return version
+
+    def unpin(self, version: Version) -> None:
+        """Release a reader's pin; may retire tables the version held."""
+        with self._lock:
+            count = self._pins.get(version)
+            if count is None:
+                raise LSMError("unpin of a version that is not pinned")
+            if count > 1:
+                self._pins[version] = count - 1
+                return
+            del self._pins[version]
+            if version is not self.current:
+                self._release_tables(version)
+
+    # ------------------------------------------------------------- installing
+
+    def install(self, edit: VersionEdit) -> Version:
+        """Apply ``edit`` to the current version and make the result
+        current.
+
+        Conflict rule: every path the edit removes must still be live in
+        the current version.  A background compaction that lost a race
+        (its inputs already compacted away by someone else) gets a
+        :class:`CompactionError` and should retry against the new
+        current version.
+        """
+        with self._lock:
+            if self._closed:
+                raise LSMError("version set is closed")
+            base = self.current
+            live = {t.path for t in base.all_tables()}
+            for path in edit.removed_paths():
+                if path not in live:
+                    raise CompactionError(
+                        f"version edit removes {path} which is not live; "
+                        f"a concurrent install won the race")
+            successor = base.apply(edit)
+            for table in successor.all_tables():
+                self._table_refs[table.path] = \
+                    self._table_refs.get(table.path, 0) + 1
+            self.current = successor
+            if base not in self._pins:
+                self._release_tables(base)
+            return successor
+
+    def _release_tables(self, version: Version) -> None:
+        """Drop ``version``'s table references (lock held by caller)."""
+        for table in version.all_tables():
+            refs = self._table_refs[table.path] - 1
+            if refs:
+                self._table_refs[table.path] = refs
+            else:
+                del self._table_refs[table.path]
+                self._retired.append(table)
+
+    def drain_retired(self) -> List[SSTable]:
+        """Hand over tables whose last reference has dropped."""
+        with self._lock:
+            retired, self._retired = self._retired, []
+            return retired
+
+    # ------------------------------------------------------------ inspection
+
+    def pinned_count(self) -> int:
+        """Outstanding reader pins across all versions."""
+        with self._lock:
+            return sum(self._pins.values())
+
+    def live_versions(self) -> int:
+        """Distinct live versions (current plus distinct pinned ones)."""
+        with self._lock:
+            live = set(self._pins)
+            live.add(self.current)
+            return len(live)
+
+    def table_ref(self, path: str) -> int:
+        """Live-version reference count for one table path (tests)."""
+        with self._lock:
+            return self._table_refs.get(path, 0)
+
+    # --------------------------------------------------------------- closing
+
+    def force_release(self) -> int:
+        """Drop every outstanding pin (db close); returns the leak count.
+
+        A nonzero return means a reader was still pinned at close — the
+        db records it as ``leaked_pins`` so the torture suites can
+        assert zero.
+        """
+        with self._lock:
+            leaked = sum(self._pins.values())
+            for version in list(self._pins):
+                del self._pins[version]
+                if version is not self.current:
+                    self._release_tables(version)
+            return leaked
+
+    def close(self) -> int:
+        """Force-release pins and retire the current version's tables."""
+        with self._lock:
+            if self._closed:
+                return 0
+        leaked = self.force_release()
+        with self._lock:
+            self._closed = True
+            self._release_tables(self.current)
+            return leaked

@@ -71,6 +71,9 @@ class ServerStats:
     flagged_users: int = 0
     throttle_escalations: int = 0
     noise_injections: int = 0
+    #: Compaction progress (zeros in stores without background threads).
+    compactions_run: int = 0
+    background_cycles: int = 0
 
 
 class WireConnection:

@@ -59,7 +59,7 @@ _PUT_PREFIX = struct.Struct("!QBH")
 _PUT_MANY_PREFIX = struct.Struct("!QBI")
 _PUT_MANY_RESPONSE = struct.Struct("!Id")
 _RESULT_PREFIX = struct.Struct("!BdB")
-_STATS = struct.Struct("!dQQQQdQdQQQ")
+_STATS = struct.Struct("!dQQQQdQdQQQQQ")
 
 #: PUT/PUT_MANY request flag: store the object world-readable.
 PUT_FLAG_PUBLIC_READ = 0x01
@@ -459,6 +459,10 @@ class StatsSnapshot:
     flagged_users: int = 0
     throttle_escalations: int = 0
     noise_injections: int = 0
+    #: Compactions installed so far (foreground or background) and
+    #: background-compaction thread cycles; zeros in sync-only stores.
+    compactions_run: int = 0
+    background_cycles: int = 0
 
 
 def encode_stats_response(stats: StatsSnapshot) -> bytes:
@@ -467,7 +471,8 @@ def encode_stats_response(stats: StatsSnapshot) -> bytes:
                        stats.not_found, stats.unauthorized,
                        stats.eviction_wait_us, stats.stalled_requests,
                        stats.total_stall_us, stats.flagged_users,
-                       stats.throttle_escalations, stats.noise_injections)
+                       stats.throttle_escalations, stats.noise_injections,
+                       stats.compactions_run, stats.background_cycles)
 
 
 def decode_stats_response(payload: bytes) -> StatsSnapshot:

@@ -164,6 +164,10 @@ def collect_stats(service, background: Optional[BackgroundLoad] = None
             noise += defense.noise_injections
         layer = getattr(layer, "service", None)
     eviction = background.eviction_wait_us() if background is not None else 0.0
+    db = getattr(service, "db", None)
+    compactor = (getattr(db, "_bg_compactor", None)
+                 or getattr(db, "_compactor", None))
+    background_thread = getattr(db, "_background", None)
     return protocol.StatsSnapshot(
         sim_now_us=service.db.clock.now_us,
         requests=stats.requests if stats else 0,
@@ -176,6 +180,9 @@ def collect_stats(service, background: Optional[BackgroundLoad] = None
         flagged_users=flagged,
         throttle_escalations=escalations,
         noise_injections=noise,
+        compactions_run=compactor.compactions_run if compactor else 0,
+        background_cycles=(background_thread.cycles
+                           if background_thread is not None else 0),
     )
 
 

@@ -7,6 +7,19 @@ the attack only needs the qualitative property that a read from "secondary
 storage" costs tens of microseconds with noise, clearly separable from
 DRAM-scale work yet overlapping enough that single measurements are noisy
 (which is why the attack averages four queries per key, section 9).
+
+Two MVCC-era extensions (DESIGN.md section 12):
+
+* **File generations** — every path carries a monotonically increasing
+  generation number, bumped on create/append/rename/delete.  Caches key
+  their entries on ``(path, generation, ...)`` so a recycled path can
+  never serve a stale block.
+* **Mapped regions** — :meth:`map_file` returns a :class:`MappedRegion`,
+  the simulated analogue of ``mmap``: readers take zero-copy
+  ``memoryview`` slices of the file image, pin the region while a view
+  is live, and the unmap is deferred until the last pin drops (the POSIX
+  read-after-unlink guarantee: deleting the path does not invalidate an
+  existing mapping).
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from repro.common.errors import (
     ConfigError,
     FileNotFoundInStoreError,
     ReadOutOfBoundsError,
+    StorageError,
 )
 from repro.common.rng import SeededRng, make_rng
 
@@ -63,6 +77,102 @@ class DeviceStats:
     bytes_written: int = 0
 
 
+class MappedRegion:
+    """A simulated ``mmap`` of one file: zero-copy views plus pin lifetime.
+
+    The region holds a reference to the file image as mapped (so later
+    rewrites of the path never show through — real mmaps of replaced
+    files keep the old pages) and hands out ``memoryview`` slices.
+    Readers :meth:`pin` the region for the duration of any borrowed
+    view; :meth:`close` with ``strict=True`` raises while pins are
+    outstanding (the simulated analogue of ``BufferError`` on exporting
+    a buffer that is still borrowed, or a Windows strict file close),
+    while :meth:`mark_doomed` defers the unmap to the last unpin.
+    """
+
+    __slots__ = ("path", "generation", "_data", "_pins", "_doomed",
+                 "_closed", "_lock")
+
+    def __init__(self, path: str, generation: int, data: bytes) -> None:
+        self.path = path
+        self.generation = generation
+        self._data = data
+        self._pins = 0
+        self._doomed = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pins(self) -> int:
+        return self._pins
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Borrow a zero-copy slice of the mapped file."""
+        if self._closed:
+            raise StorageError(f"mapped region for {self.path!r} is unmapped")
+        if offset < 0 or length < 0 or offset + length > len(self._data):
+            raise ReadOutOfBoundsError(
+                f"view [{offset}, {offset + length}) out of bounds for "
+                f"mapping of {self.path!r} ({len(self._data)} bytes)")
+        return memoryview(self._data)[offset:offset + length]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def pin(self) -> None:
+        """Declare a live borrow; the region will not unmap under it."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(
+                    f"pin of unmapped region for {self.path!r}")
+            self._pins += 1
+
+    def unpin(self) -> None:
+        """Release one borrow; unmaps now if doomed and this was the last."""
+        with self._lock:
+            if self._pins <= 0:
+                raise StorageError(
+                    f"unpin of unpinned region for {self.path!r}")
+            self._pins -= 1
+            if self._doomed and self._pins == 0:
+                self._unmap()
+
+    def mark_doomed(self) -> None:
+        """Schedule the unmap for the moment the last pin drops."""
+        with self._lock:
+            self._doomed = True
+            if self._pins == 0:
+                self._unmap()
+
+    def close(self, strict: bool = True) -> None:
+        """Unmap now (``strict``) or as soon as the last reader unpins.
+
+        ``strict=True`` models platforms where tearing down a mapping
+        with borrowed buffers is an error (Windows-style strict close /
+        CPython ``BufferError``): it raises if any pin is outstanding.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._pins:
+                if strict:
+                    raise StorageError(
+                        f"cannot unmap {self.path!r}: "
+                        f"{self._pins} reader(s) still pinned")
+                self._doomed = True
+                return
+            self._unmap()
+
+    def _unmap(self) -> None:
+        """Drop the file image (lock held by caller)."""
+        self._closed = True
+        self._data = b""
+
+
 class StorageDevice:
     """In-memory file store that charges simulated I/O latency.
 
@@ -85,15 +195,30 @@ class StorageDevice:
         self.model = model or DeviceModel()
         self._rng = rng or make_rng(None, "device")
         self._files: Dict[str, bytes] = {}
+        #: path -> generation; bumped on every mutation of the path so
+        #: caches can key on version-scoped file identity.
+        self._generations: Dict[str, int] = {}
+        #: path -> live MappedRegion (at most one per path at a time).
+        self._mappings: Dict[str, MappedRegion] = {}
         self.stats = DeviceStats()
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ files
 
+    def _bump_generation(self, path: str) -> None:
+        self._generations[path] = self._generations.get(path, 0) + 1
+
+    def file_generation(self, path: str) -> int:
+        """Current generation of ``path`` (0 if never written)."""
+        with self._lock:
+            return self._generations.get(path, 0)
+
     def create_file(self, path: str, data: bytes) -> None:
         """Write a complete immutable file (SSTables are write-once)."""
         with self._lock:
             self._files[path] = bytes(data)
+            self._bump_generation(path)
+            self._mappings.pop(path, None)
             self.stats.writes += 1
             self.stats.bytes_written += len(data)
             self.clock.charge(self.model.write_latency_us)
@@ -102,14 +227,22 @@ class StorageDevice:
         """Append to a file, creating it if missing (WAL traffic)."""
         with self._lock:
             self._files[path] = self._files.get(path, b"") + bytes(data)
+            self._bump_generation(path)
             self.stats.writes += 1
             self.stats.bytes_written += len(data)
             self.clock.charge(self.model.write_latency_us)
 
     def delete_file(self, path: str) -> None:
-        """Remove a file (compaction garbage collection)."""
+        """Remove a file (compaction garbage collection).
+
+        A live mapping of the path survives the unlink (POSIX
+        semantics): readers holding the region keep reading the old
+        image until its owner unmaps it.
+        """
         with self._lock:
-            self._files.pop(path, None)
+            if self._files.pop(path, None) is not None:
+                self._bump_generation(path)
+            self._mappings.pop(path, None)
 
     def rename(self, src: str, dst: str) -> None:
         """Atomically move ``src`` over ``dst`` (POSIX rename semantics).
@@ -122,6 +255,10 @@ class StorageDevice:
         with self._lock:
             self._files[dst] = self._file(src)
             del self._files[src]
+            self._bump_generation(src)
+            self._bump_generation(dst)
+            self._mappings.pop(src, None)
+            self._mappings.pop(dst, None)
             self.stats.writes += 1
             self.clock.charge(self.model.write_latency_us)
 
@@ -137,6 +274,32 @@ class StorageDevice:
         """Sorted list of file paths (manifest recovery, tests)."""
         return sorted(self._files)
 
+    # --------------------------------------------------------------- mappings
+
+    def map_file(self, path: str) -> MappedRegion:
+        """Map ``path`` (simulated ``mmap``); one shared region per path.
+
+        Mapping charges nothing: establishing page-table entries is not
+        an I/O in the latency model (faulting pages in is what the read
+        methods charge for).
+        """
+        with self._lock:
+            region = self._mappings.get(path)
+            if region is not None and not region.closed:
+                return region
+            region = MappedRegion(path, self._generations.get(path, 0),
+                                  self._file(path))
+            self._mappings[path] = region
+            return region
+
+    def mapping_for(self, path: str) -> Optional[MappedRegion]:
+        """The live mapping of ``path``, if any (tests, fallbacks)."""
+        with self._lock:
+            region = self._mappings.get(path)
+            if region is not None and region.closed:
+                return None
+            return region
+
     # ------------------------------------------------------------------ reads
 
     def read(self, path: str, offset: int, length: int) -> bytes:
@@ -146,8 +309,16 @@ class StorageDevice:
         service time for the read plus a linear transfer cost per extra
         block.
         """
+        return bytes(self.read_view(path, offset, length))
+
+    def read_view(self, path: str, offset: int, length: int) -> memoryview:
+        """Zero-copy :meth:`read`: same charge, stats, and RNG draw.
+
+        The returned view aliases the immutable file image; callers must
+        not mutate it (and cannot: the backing object is ``bytes``).
+        """
         with self._lock:
-            data = self._file(path)
+            data = self._readable(path)
             if offset < 0 or length < 0 or offset + length > len(data):
                 raise ReadOutOfBoundsError(
                     f"read [{offset}, {offset + length}) out of bounds for "
@@ -157,12 +328,16 @@ class StorageDevice:
             self.stats.reads += 1
             self.stats.blocks_read += blocks
             self.clock.charge(self._read_cost_us(blocks))
-            return data[offset : offset + length]
+            return memoryview(data)[offset : offset + length]
 
     def read_block(self, path: str, block_index: int) -> bytes:
         """Read one whole block (page-cache fill granularity)."""
+        return bytes(self.read_block_view(path, block_index))
+
+    def read_block_view(self, path: str, block_index: int) -> memoryview:
+        """Zero-copy :meth:`read_block`: same charge, stats, RNG draw."""
         with self._lock:
-            data = self._file(path)
+            data = self._readable(path)
             start = block_index * self.model.block_size
             if start >= len(data) or block_index < 0:
                 raise ReadOutOfBoundsError(
@@ -172,12 +347,36 @@ class StorageDevice:
             self.stats.reads += 1
             self.stats.blocks_read += 1
             self.clock.charge(self._read_cost_us(1))
-            return data[start : start + self.model.block_size]
+            return memoryview(data)[start : start + self.model.block_size]
 
     def num_blocks(self, path: str) -> int:
         """Number of blocks in ``path`` (last one may be partial)."""
-        size = len(self._file(path))
+        size = len(self._readable(path))
         return (size + self.model.block_size - 1) // self.model.block_size
+
+    # ------------------------------------------------------------------ views
+
+    def reader_view(self, clock, rng: SeededRng) -> "DeviceView":
+        """A read-only view charging ``clock`` and drawing from ``rng``.
+
+        Snapshots read through one of these so their I/O timing comes
+        from their own deterministic streams instead of perturbing the
+        live store's.
+        """
+        return DeviceView(self, clock, rng, mutable=False)
+
+    def silent_view(self) -> "DeviceView":
+        """A mutable view whose charges and draws hit throwaway streams.
+
+        Background compaction works through a silent view: it shares the
+        real file namespace (and generation counters) but none of its
+        I/O perturbs the serving store's clock, stats, or latency RNG —
+        background work is free in simulated time by design (DESIGN.md
+        section 12).
+        """
+        from repro.storage.clock import SimClock
+        return DeviceView(self, SimClock(), make_rng(0, "silent-device"),
+                          mutable=True)
 
     # ---------------------------------------------------------------- helpers
 
@@ -186,6 +385,20 @@ class StorageDevice:
             return self._files[path]
         except KeyError:
             raise FileNotFoundInStoreError(f"no such file: {path!r}") from None
+
+    def _readable(self, path: str) -> bytes:
+        """File image for reading: falls back to a live mapping.
+
+        Models read-after-unlink: a deleted path whose mapping is still
+        held keeps serving the mapped image (refcounted inode).
+        """
+        data = self._files.get(path)
+        if data is not None:
+            return data
+        region = self._mappings.get(path)
+        if region is not None and not region.closed:
+            return region._data
+        raise FileNotFoundInStoreError(f"no such file: {path!r}")
 
     def _blocks_spanned(self, offset: int, length: int) -> int:
         if length == 0:
@@ -199,3 +412,109 @@ class StorageDevice:
             self.model.read_latency_mu, self.model.read_latency_sigma
         )
         return service + self.model.per_block_transfer_us * (blocks - 1)
+
+
+class DeviceView:
+    """A device facade that redirects timing effects to private streams.
+
+    Shares the parent device's files, lock, generations, and mappings —
+    the *state* is one store — but charges its own clock, draws latency
+    from its own RNG, and counts into its own stats.  Two flavors:
+
+    * ``reader_view`` (``mutable=False``): snapshot reads; mutation
+      methods raise.
+    * ``silent_view`` (``mutable=True``): background compaction; its
+      writes mutate the shared namespace but charge a throwaway clock.
+    """
+
+    def __init__(self, parent: StorageDevice, clock, rng: SeededRng,
+                 mutable: bool) -> None:
+        self._parent = parent
+        self.clock = clock
+        self.model = parent.model
+        self._rng = rng
+        self._mutable = mutable
+        self.stats = DeviceStats()
+        self._lock = parent._lock
+
+    # The shared-state helpers delegate to the parent under its lock.
+
+    @property
+    def _files(self) -> Dict[str, bytes]:
+        return self._parent._files
+
+    @property
+    def _generations(self) -> Dict[str, int]:
+        return self._parent._generations
+
+    @property
+    def _mappings(self) -> Dict[str, MappedRegion]:
+        return self._parent._mappings
+
+    def file_generation(self, path: str) -> int:
+        return self._parent.file_generation(path)
+
+    def exists(self, path: str) -> bool:
+        return self._parent.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return self._parent.file_size(path)
+
+    def list_files(self):
+        return self._parent.list_files()
+
+    def num_blocks(self, path: str) -> int:
+        return self._parent.num_blocks(path)
+
+    def map_file(self, path: str) -> MappedRegion:
+        return self._parent.map_file(path)
+
+    def mapping_for(self, path: str) -> Optional[MappedRegion]:
+        return self._parent.mapping_for(path)
+
+    # Reads: parent data, private timing.
+
+    read = StorageDevice.read
+    read_view = StorageDevice.read_view
+    read_block = StorageDevice.read_block
+    read_block_view = StorageDevice.read_block_view
+    _readable = StorageDevice._readable
+    _file = StorageDevice._file
+    _blocks_spanned = StorageDevice._blocks_spanned
+    _read_cost_us = StorageDevice._read_cost_us
+
+    # Mutations: allowed only on silent views; they go through the
+    # parent's bookkeeping but charge this view's clock/stats.
+
+    def _require_mutable(self) -> None:
+        if not self._mutable:
+            raise StorageError("read-only device view cannot mutate files")
+
+    def _bump_generation(self, path: str) -> None:
+        self._parent._bump_generation(path)
+
+    create_file_impl = StorageDevice.create_file
+    append_impl = StorageDevice.append
+    rename_impl = StorageDevice.rename
+
+    def create_file(self, path: str, data: bytes) -> None:
+        self._require_mutable()
+        self.create_file_impl(path, data)
+
+    def append(self, path: str, data: bytes) -> None:
+        self._require_mutable()
+        self.append_impl(path, data)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._require_mutable()
+        self.rename_impl(src, dst)
+
+    def delete_file(self, path: str) -> None:
+        self._require_mutable()
+        self._parent.delete_file(path)
+
+    def reader_view(self, clock, rng: SeededRng) -> "DeviceView":
+        return self._parent.reader_view(clock, rng)
+
+    def silent_view(self) -> "DeviceView":
+        return self._parent.silent_view()

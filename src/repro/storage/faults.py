@@ -189,6 +189,7 @@ class FaultyStorageDevice(StorageDevice):
                 return
             if surviving:
                 self._files[path] = bytes(data[:surviving])
+                self._bump_generation(path)
         raise self._crash(path)
 
     def append(self, path: str, data: bytes) -> None:
@@ -200,6 +201,7 @@ class FaultyStorageDevice(StorageDevice):
             if surviving:
                 self._files[path] = self._files.get(path, b"") \
                     + bytes(data[:surviving])
+                self._bump_generation(path)
         raise self._crash(path)
 
     def rename(self, src: str, dst: str) -> None:
@@ -236,15 +238,19 @@ class FaultyStorageDevice(StorageDevice):
             raise TransientIOError(
                 f"injected transient failure on read {index} (sampled)")
 
-    def read(self, path: str, offset: int, length: int) -> bytes:
-        with self._lock:
-            self._read_gate(path)
-            return super().read(path, offset, length)
+    # The ``_view`` methods are the read core (``read``/``read_block``
+    # wrap them, and the page cache calls them directly on the zero-copy
+    # path), so gating here covers every read exactly once.
 
-    def read_block(self, path: str, block_index: int) -> bytes:
+    def read_view(self, path: str, offset: int, length: int) -> memoryview:
         with self._lock:
             self._read_gate(path)
-            return super().read_block(path, block_index)
+            return super().read_view(path, offset, length)
+
+    def read_block_view(self, path: str, block_index: int) -> memoryview:
+        with self._lock:
+            self._read_gate(path)
+            return super().read_block_view(path, block_index)
 
     # ------------------------------------------------------------- corruption
 
@@ -259,6 +265,7 @@ class FaultyStorageDevice(StorageDevice):
             raise ConfigError("bit index must be in [0, 8)")
         data[byte_index] ^= 1 << bit
         self._files[path] = bytes(data)
+        self._bump_generation(path)
         self.fault_stats.bits_flipped += 1
 
     def flip_random_bit(self, path: str) -> int:

@@ -21,6 +21,11 @@ and checksum work without perturbing simulated time by a single
 microsecond.  Entries are invalidated together with their pages (eviction,
 ``invalidate_file``, ``clear``), so compaction can never serve a stale
 block.
+
+Cache identity is **version-scoped**: every key includes the file's device
+generation (bumped on create/rename/delete/append), so a path recycled by
+a newer version can never be answered from the previous file's blocks —
+the stale entries simply stop being addressable and age out of the LRU.
 """
 
 from __future__ import annotations
@@ -31,10 +36,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.common.errors import ConfigError
-from repro.storage.device import StorageDevice
+from repro.storage.device import MappedRegion, StorageDevice
 
 #: Simulated cost of serving one cached page (DRAM copy + lookup).
 CACHE_HIT_COST_US = 0.8
+
+#: Page key: (path, generation, block_index).
+PageKey = Tuple[str, int, int]
+#: Decoded key: (path, generation, offset, length).
+DecodedKey = Tuple[str, int, int, int]
 
 
 @dataclass
@@ -64,9 +74,11 @@ class CacheStats:
 class PageCache:
     """Capacity-bounded LRU cache of device blocks.
 
-    Keys are ``(path, block_index)`` pairs; values are block payloads.  All
-    LSM reads funnel through :meth:`read`, which charges either a DRAM-scale
-    hit cost or a full device read on miss.
+    Keys are ``(path, generation, block_index)`` triples; values are
+    zero-copy views of the device file image (the simulated analogue of
+    page-cache pages referencing the buffer cache).  All LSM reads funnel
+    through :meth:`read`, which charges either a DRAM-scale hit cost or a
+    full device read on miss.
 
     ``decoded_capacity`` bounds the decoded-object side table (entries, not
     bytes); ``None`` picks a default proportional to the page capacity and
@@ -101,13 +113,13 @@ class PageCache:
         self.capacity_bytes = capacity_bytes
         self.hit_cost_us = hit_cost_us
         self.decoded_capacity = decoded_capacity
-        self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self._pages: "OrderedDict[PageKey, memoryview]" = OrderedDict()
         self._bytes = 0
-        # Decoded objects keyed by (path, offset, length), plus a reverse
-        # index from each underlying page to the decoded keys built on it,
-        # so page eviction can invalidate dependents in O(dependents).
-        self._decoded: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
-        self._decoded_by_page: Dict[Tuple[str, int], Set[Tuple[str, int, int]]] = {}
+        # Decoded objects keyed by (path, gen, offset, length), plus a
+        # reverse index from each underlying page to the decoded keys built
+        # on it, so page eviction can invalidate dependents in O(dependents).
+        self._decoded: "OrderedDict[DecodedKey, object]" = OrderedDict()
+        self._decoded_by_page: Dict[PageKey, Set[DecodedKey]] = {}
         self.stats = CacheStats()
         self._lock = threading.RLock()
 
@@ -131,10 +143,14 @@ class PageCache:
         start = offset - first * block_size
         return blob[start : start + length]
 
-    def read_block(self, path: str, block_index: int) -> bytes:
-        """Read one block, filling the cache on miss."""
+    def read_block(self, path: str, block_index: int) -> memoryview:
+        """Read one block, filling the cache on miss.
+
+        Returns a zero-copy view of the block (bytes-like; hash/compare
+        like the bytes it aliases).
+        """
         with self._lock:
-            key = (path, block_index)
+            key = (path, self.device.file_generation(path), block_index)
             cached = self._pages.get(key)
             if cached is not None:
                 self._pages.move_to_end(key)
@@ -142,35 +158,44 @@ class PageCache:
                 self.device.clock.charge(self.hit_cost_us)
                 return cached
             self.stats.misses += 1
-            block = self.device.read_block(path, block_index)
+            block = self.device.read_block_view(path, block_index)
             self._insert(key, block)
             return block
 
     def read_decoded(self, path: str, offset: int, length: int,
-                     decode: Callable[[bytes], object]) -> object:
+                     decode: Callable[[bytes], object],
+                     region: Optional[MappedRegion] = None) -> object:
         """Read a byte range and return it decoded, caching the result.
 
         On a decoded hit (entry present *and* all underlying pages still
         resident) this charges the clock and updates page stats/LRU order
         exactly as the equivalent :meth:`read` would, then skips the
-        decode.  Any other case falls back to :meth:`read` + ``decode`` —
-        so the simulated-time trace is identical whether this layer is
-        enabled, disabled, or thrashing.
+        decode.  Any other case faults the pages in through
+        :meth:`read_block` (charge-identical to :meth:`read`) and
+        decodes — from ``region``'s zero-copy view of the byte range
+        when a mapping is supplied (data blocks usually straddle two
+        device blocks, which block-joining would have to copy), else
+        from the joined page bytes.  The simulated-time trace is
+        identical whether this layer is enabled, disabled, or thrashing,
+        and whether or not a region is used.
         """
-        key = (path, offset, length)
         with self._lock:
-            return self._read_decoded_locked(key, path, offset, length, decode)
+            gen = self.device.file_generation(path)
+            return self._read_decoded_locked((path, gen, offset, length),
+                                             path, gen, offset, length,
+                                             decode, region)
 
-    def _read_decoded_locked(self, key, path, offset, length, decode):
+    def _read_decoded_locked(self, key, path, gen, offset, length,
+                             decode, region):
+        block_size = self.device.model.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size if length else first
         obj = self._decoded.get(key)
         if obj is not None:
-            block_size = self.device.model.block_size
-            first = offset // block_size
-            last = (offset + length - 1) // block_size if length else first
             pages = self._pages
             resident = True
             for block_index in range(first, last + 1):
-                if (path, block_index) not in pages:
+                if (path, gen, block_index) not in pages:
                     resident = False
                     break
             if resident:
@@ -178,7 +203,7 @@ class PageCache:
                 hit_cost = self.hit_cost_us
                 stats = self.stats
                 for block_index in range(first, last + 1):
-                    pages.move_to_end((path, block_index))
+                    pages.move_to_end((path, gen, block_index))
                     stats.hits += 1
                     clock.charge(hit_cost)
                 self._decoded.move_to_end(key)
@@ -188,19 +213,28 @@ class PageCache:
             # rebuild through the ordinary (charged) read path.
             self._drop_decoded(key)
         self.stats.decoded_misses += 1
-        data = self.read(path, offset, length)
-        obj = decode(data)
+        if region is not None and not region.closed \
+                and region.generation == gen:
+            # Fault the pages in (same charges/stats/LRU as read()), then
+            # decode straight off the mapping — zero copies.
+            for block_index in range(first, last + 1):
+                self.read_block(path, block_index)
+            obj = decode(region.view(offset, length))
+        else:
+            obj = decode(self.read(path, offset, length))
         if self.decoded_capacity:
             self._insert_decoded(key, obj)
         return obj
 
     def contains(self, path: str, block_index: int) -> bool:
         """Whether a block is currently cached (no cost, no LRU touch)."""
-        return (path, block_index) in self._pages
+        return (path, self.device.file_generation(path), block_index) \
+            in self._pages
 
     def contains_decoded(self, path: str, offset: int, length: int) -> bool:
         """Whether a decoded entry is present (no cost, no LRU touch)."""
-        return (path, offset, length) in self._decoded
+        return (path, self.device.file_generation(path), offset, length) \
+            in self._decoded
 
     # -------------------------------------------------------------- churning
 
@@ -210,17 +244,20 @@ class PageCache:
         Legitimate traffic reading unrelated files pushes the attacker's
         blocks out of the cache; the payload content is irrelevant, only the
         displacement matters, so we insert zero-filled pages keyed by an
-        artificial path.
+        artificial path (generation 0: the path never exists on device).
         """
         with self._lock:
-            self._insert((f"!bg:{tag}", block_index), b"\x00" * size)
+            self._insert((f"!bg:{tag}", 0, block_index),
+                         memoryview(b"\x00" * size))
 
     def invalidate_file(self, path: str) -> None:
-        """Drop every cached block of ``path`` (file deleted by compaction).
+        """Drop every cached block of ``path``, across all generations.
 
         Decoded entries built on the file go with their pages, so a
         compaction that deletes and reallocates table files can never be
-        answered from a stale decoded block.
+        answered from a stale decoded block.  (Generation keying already
+        prevents cross-generation hits; invalidation reclaims the bytes
+        immediately instead of waiting for LRU aging.)
         """
         with self._lock:
             stale = [key for key in self._pages if key[0] == path]
@@ -256,7 +293,7 @@ class PageCache:
 
     # ---------------------------------------------------------------- helpers
 
-    def _insert(self, key: Tuple[str, int], block: bytes) -> None:
+    def _insert(self, key: PageKey, block: memoryview) -> None:
         if key in self._pages:
             self._bytes -= len(self._pages.pop(key))
         self._pages[key] = block
@@ -267,34 +304,35 @@ class PageCache:
             self.stats.evictions += 1
             self._invalidate_decoded_for_page(evicted_key)
 
-    def _insert_decoded(self, key: Tuple[str, int, int], obj: object) -> None:
+    def _insert_decoded(self, key: DecodedKey, obj: object) -> None:
         if key in self._decoded:
             self._drop_decoded(key)
         self._decoded[key] = obj
-        path, offset, length = key
+        path, gen, offset, length = key
         block_size = self.device.model.block_size
         first = offset // block_size
         last = (offset + length - 1) // block_size if length else first
         for block_index in range(first, last + 1):
-            self._decoded_by_page.setdefault((path, block_index), set()).add(key)
+            self._decoded_by_page.setdefault(
+                (path, gen, block_index), set()).add(key)
         while len(self._decoded) > self.decoded_capacity:
             oldest = next(iter(self._decoded))
             self._drop_decoded(oldest)
 
-    def _drop_decoded(self, key: Tuple[str, int, int]) -> None:
+    def _drop_decoded(self, key: DecodedKey) -> None:
         self._decoded.pop(key, None)
-        path, offset, length = key
+        path, gen, offset, length = key
         block_size = self.device.model.block_size
         first = offset // block_size
         last = (offset + length - 1) // block_size if length else first
         for block_index in range(first, last + 1):
-            dependents = self._decoded_by_page.get((path, block_index))
+            dependents = self._decoded_by_page.get((path, gen, block_index))
             if dependents is not None:
                 dependents.discard(key)
                 if not dependents:
-                    del self._decoded_by_page[(path, block_index)]
+                    del self._decoded_by_page[(path, gen, block_index)]
 
-    def _invalidate_decoded_for_page(self, page_key: Tuple[str, int]) -> None:
+    def _invalidate_decoded_for_page(self, page_key: PageKey) -> None:
         dependents = self._decoded_by_page.pop(page_key, None)
         if dependents:
             for decoded_key in list(dependents):

@@ -198,8 +198,13 @@ class KVService:
     def get_many(self, user: int, keys: Sequence[bytes]) -> List[Response]:
         """Batch read: ``[self.get(user, k) for k in keys]``, amortized."""
         keys = list(keys)
-        get_one = self.getter(user, self.db.probe_plan(keys))
-        return [get_one(key) for key in keys]
+        plan = self.db.probe_plan(keys)
+        try:
+            get_one = self.getter(user, plan)
+            return [get_one(key) for key in keys]
+        finally:
+            if plan is not None:
+                plan.release()
 
     def get_many_timed(self, user: int, keys: Sequence[bytes]
                        ) -> List[Tuple[Response, float]]:
@@ -212,15 +217,20 @@ class KVService:
         so the per-key charges and RNG draws are untouched.
         """
         keys = list(keys)
-        get_one = self.getter(user, self.db.probe_plan(keys))
-        clock = self.db.clock
-        out: List[Tuple[Response, float]] = []
-        append = out.append
-        for key in keys:
-            start = clock.now_us
-            response = get_one(key)
-            append((response, clock.now_us - start))
-        return out
+        plan = self.db.probe_plan(keys)
+        try:
+            get_one = self.getter(user, plan)
+            clock = self.db.clock
+            out: List[Tuple[Response, float]] = []
+            append = out.append
+            for key in keys:
+                start = clock.now_us
+                response = get_one(key)
+                append((response, clock.now_us - start))
+            return out
+        finally:
+            if plan is not None:
+                plan.release()
 
     def range_query(self, user: int, low: bytes, high: bytes,
                     limit: Optional[int] = None):

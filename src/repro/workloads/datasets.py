@@ -50,6 +50,10 @@ class DatasetConfig:
     #: Decoded-block cache entries (``None`` = proportional default,
     #: ``0`` disables — wall-clock knob only, simulated time is identical).
     decoded_cache_entries: Optional[int] = None
+    #: Run leveled compaction on the background thread (MVCC read path
+    #: pins version snapshots; background merges are free in simulated
+    #: time — see DESIGN.md section 12).
+    background_compaction: bool = False
 
     def __post_init__(self) -> None:
         if self.num_keys <= 0:
@@ -105,6 +109,7 @@ def build_environment(config: DatasetConfig) -> Environment:
         sstable_target_bytes=config.sstable_target_bytes,
         page_cache_bytes=cache_bytes,
         seed=config.seed,
+        background_compaction=config.background_compaction,
     )
     db = LSMTree(options, clock=clock, device=device, cache=cache)
     db.bulk_load(items)

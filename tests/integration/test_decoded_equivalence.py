@@ -129,7 +129,7 @@ class TestCompactionInvalidation:
 
         # No decoded entry may reference a file compaction deleted.
         live = {table.path for level in db.version.levels for table in level}
-        cached_paths = {path for (path, _, _) in db.cache._decoded}
+        cached_paths = {key[0] for key in db.cache._decoded}
         assert cached_paths <= live
 
         # And reads after compaction return current values.

@@ -101,7 +101,7 @@ class TestCorrectness:
         live = {t.path for t in db.version.all_tables()}
         for key in list(model)[:50]:
             db.get(key)
-        cached_paths = {path for path, _ in db.cache._pages}
+        cached_paths = {key[0] for key in db.cache._pages}
         assert cached_paths <= live
 
 

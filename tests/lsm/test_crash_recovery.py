@@ -285,3 +285,21 @@ class TestRecoveryReport:
         # trusted was lost.
         assert not report.clean
         assert not report.data_suspect
+
+
+class TestCrashesRaiseNoSuspicion:
+    """Crash debris is classified, not distrusted.
+
+    Every artifact a pure crash can leave — torn WAL tail, torn
+    ``MANIFEST.new``, an obsolete table whose delete never ran — has a
+    dedicated benign classification (dropped tail, ignored staging file,
+    quarantined orphan).  ``data_suspect`` is reserved for damage that
+    cannot come from a crash alone (checksum-failed committed records),
+    so a crash-only sweep must never raise it at any point.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sweep_has_no_suspect_points(self, seed):
+        sweep = crash_point_sweep(seed=seed, num_ops=120, stride=5)
+        assert sweep.ok, sweep.describe()
+        assert sweep.suspect_points == []

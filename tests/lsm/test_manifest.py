@@ -141,3 +141,33 @@ class TestAtomicReplacement:
         assert not load.unreadable
         assert load.source is None
         assert load.entries == []
+
+
+class TestTornStaging:
+    """A damaged ``MANIFEST.new`` is debris from an interrupted swap —
+    never served, never reported as a corrupt manifest."""
+
+    def test_torn_new_ignored_when_primary_intact(self, manifest):
+        manifest.write(ENTRIES)
+        intact = manifest.device.read(
+            manifest.path, 0, manifest.device.file_size(manifest.path))
+        manifest.device.create_file(manifest.path + ".new", intact[:-7])
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES
+        assert load.source == manifest.path
+        assert load.corrupt_entries == 0
+
+    def test_lone_torn_new_means_no_manifest(self, manifest):
+        # Fresh store whose very first swap tore mid-create: the WAL owns
+        # the state; recovery must see "no manifest", not "corrupt one".
+        manifest.device.create_file(manifest.path + ".new", b"repro-man")
+        load = manifest.read_checked()
+        assert not load.unreadable
+        assert load.entries == [] and load.source is None
+
+    def test_complete_new_still_wins_over_missing_primary(self, manifest):
+        manifest.write(ENTRIES)
+        manifest.device.rename(manifest.path, manifest.path + ".new")
+        load = manifest.read_checked()
+        assert load.entries == ENTRIES
+        assert load.source == manifest.path + ".new"

@@ -1,0 +1,196 @@
+"""SnapshotView semantics and version/region lifetime edge cases.
+
+A snapshot must (a) observe exactly the store state at creation, forever,
+regardless of later writes/flushes/compactions, (b) keep its own
+determinism channels (clock, RNG, cache) so probing it never perturbs the
+live store, and (c) pin its version's mapped regions so nothing unmaps
+under it — while leaks (snapshot or plan left open across ``close``) are
+*detected*, not silently tolerated.
+"""
+
+import pytest
+
+from repro.common.errors import DBClosedError, LSMError, StorageError
+from repro.lsm.db import LSMTree
+from repro.lsm.options import LSMOptions
+from repro.lsm.version import Version
+
+
+def small_options(**overrides):
+    base = dict(memtable_size_bytes=2048, sstable_target_bytes=4096,
+                block_size_bytes=512, l0_compaction_trigger=3)
+    base.update(overrides)
+    return LSMOptions(**base)
+
+
+def filled_db(num=400, **overrides):
+    db = LSMTree(small_options(**overrides))
+    items = {}
+    for i in range(num):
+        key = b"key-%04d" % i
+        items[key] = b"value-%05d" % i
+        db.put(key, items[key])
+    return db, items
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_survives_overwrites_and_compaction(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        for i in range(400):
+            db.put(b"key-%04d" % i, b"CHANGED-%d" % i)
+        db.compact_all()
+        assert db.get(b"key-0007") == b"CHANGED-7"
+        for i in range(0, 400, 13):
+            key = b"key-%04d" % i
+            assert snap.get(key) == items[key]
+        snap.close()
+        db.close()
+        assert db.leaked_pins == 0
+
+    def test_snapshot_sees_memtable_and_tombstones(self):
+        db, items = filled_db(num=40)  # stays partly in the memtable
+        db.delete(b"key-0001")
+        snap = db.snapshot()
+        db.put(b"key-0001", b"resurrected")
+        db.put(b"key-0002", b"changed")
+        assert snap.get(b"key-0001") is None          # tombstone frozen
+        assert snap.get(b"key-0002") == items[b"key-0002"]
+        assert db.get(b"key-0001") == b"resurrected"
+        snap.close()
+        db.close()
+
+    def test_snapshot_queries_do_not_advance_live_clock(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        live_before = db.clock.now_us
+        snap.get_many(list(items)[:100])
+        assert db.clock.now_us == live_before
+        assert snap.clock.now_us > live_before  # charged its own clock
+        snap.close()
+        db.close()
+
+    def test_two_equal_stores_give_bit_identical_snapshot_timing(self):
+        def probe():
+            db, items = filled_db()
+            snap = db.snapshot()
+            timed = snap.get_many_timed(
+                sorted(items)[:60] + [b"miss-%03d" % i for i in range(30)])
+            snap.close()
+            db.close()
+            return [t for _, t in timed]
+        assert probe() == probe()
+
+    def test_filters_pass_matches_live_before_divergence(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        keys = sorted(items)[:50] + [b"nope-%03d" % i for i in range(20)]
+        assert snap.filters_pass_many(keys) == db.filters_pass_many(keys)
+        snap.close()
+        db.close()
+
+
+class TestSnapshotLifetimes:
+    def test_leaked_snapshot_detected_at_close(self):
+        db, _ = filled_db()
+        snap = db.snapshot()
+        db.close()
+        assert db.leaked_pins == 1
+        snap.close()  # late close after force-release must not raise
+
+    def test_leaked_plan_detected_at_close(self):
+        from repro.filters import BloomFilterBuilder
+        db, items = filled_db(filter_builder=BloomFilterBuilder())
+        plan = db.probe_plan(sorted(items)[:20])
+        assert plan is not None
+        db.close()
+        assert db.leaked_pins == 1
+
+    def test_clean_shutdown_has_no_leaks(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        snap.get_many(sorted(items)[:20])
+        snap.close()
+        db.get_many(sorted(items)[:20])
+        db.close()
+        assert db.leaked_pins == 0
+
+    def test_snapshot_use_after_snapshot_close_raises(self):
+        db, _ = filled_db()
+        snap = db.snapshot()
+        snap.close()
+        with pytest.raises(DBClosedError):
+            snap.get(b"key-0001")
+        db.close()
+
+    def test_snapshot_use_after_db_close_raises(self):
+        db, _ = filled_db()
+        snap = db.snapshot()
+        db.close()
+        with pytest.raises(DBClosedError):
+            snap.get(b"key-0001")
+        snap.close()
+
+    def test_context_manager_closes(self):
+        db, items = filled_db()
+        with db.snapshot() as snap:
+            assert snap.get(b"key-0003") == items[b"key-0003"]
+        with pytest.raises(DBClosedError):
+            snap.get(b"key-0003")
+        db.close()
+        assert db.leaked_pins == 0
+
+    def test_snapshot_ids_are_sequential(self):
+        db, _ = filled_db(num=30)
+        a, b = db.snapshot(), db.snapshot()
+        assert (a.id, b.id) == (0, 1)
+        a.close(), b.close()
+        db.close()
+
+    def test_reset_with_pinned_snapshot_rejected(self):
+        db, _ = filled_db()
+        snap = db.snapshot()
+        with pytest.raises(LSMError):
+            db.versions.reset(Version(db.options.max_levels))
+        snap.close()
+        db.close()
+
+
+class TestRegionLifetimes:
+    """mmap regions unmap only after the last pin drops (no BufferError)."""
+
+    def test_compaction_does_not_unmap_snapshotted_regions(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        assert snap._regions, "expected mapped regions to pin"
+        db.compact_all()  # retires every pre-snapshot table
+        # The snapshot's regions stay readable: doomed at worst, not
+        # closed, because the snapshot holds pins.
+        assert all(not region.closed for region in snap._regions)
+        for i in range(0, 400, 29):
+            key = b"key-%04d" % i
+            assert snap.get(key) == items[key]
+        regions = list(snap._regions)
+        snap.close()
+        # Last pin dropped: doomed regions may now actually unmap.
+        assert all(region.pins == 0 for region in regions)
+        db.close()
+
+    def test_strict_close_raises_while_pinned_then_succeeds(self):
+        db, _ = filled_db()
+        snap = db.snapshot()
+        region = snap._regions[0]
+        with pytest.raises(StorageError):
+            region.close(strict=True)
+        snap.close()
+        region.close(strict=True)  # now legal
+        assert region.closed
+        db.close()
+
+    def test_db_close_with_open_snapshot_leaves_regions_readable(self):
+        db, items = filled_db()
+        snap = db.snapshot()
+        db.close()
+        # The pinned regions survived close; only the API gate stops us.
+        assert all(not region.closed for region in snap._regions)
+        snap.close()

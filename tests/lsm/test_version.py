@@ -1,13 +1,17 @@
-"""Level/version structure tests."""
+"""Immutable Version / VersionEdit / VersionSet tests."""
 
 import pytest
 
-from repro.common.errors import LSMError
-from repro.lsm.version import Version
+from repro.common.errors import CompactionError, LSMError
+from repro.lsm.version import Version, VersionEdit, VersionSet
 
 
 class FakeReader:
-    pass
+    def __init__(self):
+        self.unmapped = False
+
+    def unmap(self):
+        self.unmapped = True
 
 
 def fake_table(path, min_key, max_key, entries=10, size=1000):
@@ -17,79 +21,197 @@ def fake_table(path, min_key, max_key, entries=10, size=1000):
                    num_entries=entries, size_bytes=size)
 
 
+def add_l0(version, table):
+    return version.apply(VersionEdit().add_l0(table))
+
+
+def install(version, level, added, removed=()):
+    return version.apply(VersionEdit().install(level, added, removed))
+
+
 class TestL0:
     def test_newest_first(self):
         v = Version(4)
-        v.add_l0(fake_table("1", b"a", b"z"))
-        v.add_l0(fake_table("2", b"a", b"z"))
+        v = add_l0(v, fake_table("1", b"a", b"z"))
+        v = add_l0(v, fake_table("2", b"a", b"z"))
         assert [t.path for t in v.levels[0]] == ["2", "1"]
 
     def test_candidates_include_all_covering_l0(self):
         v = Version(4)
-        v.add_l0(fake_table("1", b"a", b"m"))
-        v.add_l0(fake_table("2", b"k", b"z"))
+        v = add_l0(v, fake_table("1", b"a", b"m"))
+        v = add_l0(v, fake_table("2", b"k", b"z"))
         assert [t.path for t in v.candidates_for_key(b"l")] == ["2", "1"]
         assert [t.path for t in v.candidates_for_key(b"b")] == ["1"]
 
 
+class TestImmutability:
+    def test_apply_leaves_base_untouched(self):
+        base = Version(4)
+        successor = add_l0(base, fake_table("1", b"a", b"z"))
+        assert base.levels[0] == ()
+        assert [t.path for t in successor.levels[0]] == ["1"]
+
+    def test_levels_are_tuples(self):
+        v = install(Version(4), 1, [fake_table("a", b"a", b"f")])
+        assert isinstance(v.levels, tuple)
+        assert all(isinstance(tables, tuple) for tables in v.levels)
+
+    def test_from_levels_preserves_l0_order(self):
+        l0 = [fake_table("2", b"a", b"z"), fake_table("1", b"a", b"z")]
+        v = Version.from_levels(4, [l0, [fake_table("d", b"a", b"m")]])
+        assert [t.path for t in v.levels[0]] == ["2", "1"]
+        assert [t.path for t in v.levels[1]] == ["d"]
+
+    def test_from_levels_rejects_deep_overlap(self):
+        with pytest.raises(LSMError):
+            Version.from_levels(4, [[], [fake_table("a", b"a", b"m"),
+                                         fake_table("b", b"k", b"z")]])
+
+
 class TestDeepLevels:
     def test_binary_search_finds_covering_table(self):
-        v = Version(4)
-        v.install(1, [fake_table("a", b"a", b"f"),
-                      fake_table("b", b"g", b"m"),
-                      fake_table("c", b"n", b"z")], [])
+        v = install(Version(4), 1, [fake_table("a", b"a", b"f"),
+                                    fake_table("b", b"g", b"m"),
+                                    fake_table("c", b"n", b"z")])
         assert [t.path for t in v.candidates_for_key(b"h")] == ["b"]
         assert [t.path for t in v.candidates_for_key(b"zz")] == []
 
     def test_gap_between_tables(self):
-        v = Version(4)
-        v.install(1, [fake_table("a", b"a", b"c"),
-                      fake_table("b", b"x", b"z")], [])
+        v = install(Version(4), 1, [fake_table("a", b"a", b"c"),
+                                    fake_table("b", b"x", b"z")])
         assert list(v.candidates_for_key(b"m")) == []
 
     def test_overlap_rejected(self):
-        v = Version(4)
         with pytest.raises(LSMError):
-            v.install(1, [fake_table("a", b"a", b"m"),
-                          fake_table("b", b"k", b"z")], [])
+            install(Version(4), 1, [fake_table("a", b"a", b"m"),
+                                    fake_table("b", b"k", b"z")])
 
     def test_install_removes_inputs(self):
-        v = Version(4)
         t0 = fake_table("old", b"a", b"z")
-        v.add_l0(t0)
+        v = add_l0(Version(4), t0)
         merged = fake_table("new", b"a", b"z")
-        v.install(1, [merged], [t0])
-        assert v.levels[0] == []
+        v = install(v, 1, [merged], [t0])
+        assert v.levels[0] == ()
         assert [t.path for t in v.levels[1]] == ["new"]
 
     def test_search_correct_after_reinstall(self):
-        # The cached max-key index must invalidate on install.
-        v = Version(4)
-        v.install(1, [fake_table("a", b"a", b"c")], [])
+        v = install(Version(4), 1, [fake_table("a", b"a", b"c")])
         assert next(v.candidates_for_key(b"b")).path == "a"
-        v.install(1, [fake_table("b", b"d", b"f")], [])
+        v = install(v, 1, [fake_table("b", b"d", b"f")])
         assert next(v.candidates_for_key(b"e")).path == "b"
 
 
 class TestQueries:
     def test_overlapping(self):
-        v = Version(4)
-        v.install(1, [fake_table("a", b"a", b"f"),
-                      fake_table("b", b"g", b"m")], [])
+        v = install(Version(4), 1, [fake_table("a", b"a", b"f"),
+                                    fake_table("b", b"g", b"m")])
         assert [t.path for t in v.overlapping(1, b"e", b"h")] == ["a", "b"]
         assert v.overlapping(1, b"n", b"z") == []
 
     def test_stats(self):
-        v = Version(4)
-        v.add_l0(fake_table("1", b"a", b"z", entries=5, size=100))
-        v.install(2, [fake_table("2", b"a", b"z", entries=7, size=300)], [])
+        v = add_l0(Version(4), fake_table("1", b"a", b"z", entries=5, size=100))
+        v = install(v, 2, [fake_table("2", b"a", b"z", entries=7, size=300)])
         assert v.total_tables() == 2
         assert v.level_bytes(2) == 300
         rows = v.describe()
         assert {r["level"] for r in rows} == {0, 2}
 
     def test_all_tables(self):
-        v = Version(4)
-        v.add_l0(fake_table("1", b"a", b"z"))
-        v.install(3, [fake_table("2", b"a", b"z")], [])
+        v = add_l0(Version(4), fake_table("1", b"a", b"z"))
+        v = install(v, 3, [fake_table("2", b"a", b"z")])
         assert [t.path for t in v.all_tables()] == ["1", "2"]
+
+
+class TestVersionSet:
+    def test_install_updates_current(self):
+        vs = VersionSet(Version(4))
+        table = fake_table("1", b"a", b"z")
+        vs.install(VersionEdit().add_l0(table))
+        assert [t.path for t in vs.current.levels[0]] == ["1"]
+
+    def test_unpinned_replaced_table_retires_immediately(self):
+        t0 = fake_table("old", b"a", b"z")
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().add_l0(t0))
+        vs.install(VersionEdit().install(
+            1, [fake_table("new", b"a", b"z")], [t0]))
+        assert [t.path for t in vs.drain_retired()] == ["old"]
+
+    def test_pinned_version_defers_retirement(self):
+        t0 = fake_table("old", b"a", b"z")
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().add_l0(t0))
+        pinned = vs.pin()
+        vs.install(VersionEdit().install(
+            1, [fake_table("new", b"a", b"z")], [t0]))
+        # The pinned version still references "old": no retirement yet.
+        assert vs.drain_retired() == []
+        assert vs.table_ref("old") == 1
+        vs.unpin(pinned)
+        assert [t.path for t in vs.drain_retired()] == ["old"]
+
+    def test_table_shared_across_versions_survives(self):
+        keeper = fake_table("keeper", b"n", b"z")
+        t0 = fake_table("old", b"a", b"m")
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().install(1, [keeper, t0], []))
+        pinned = vs.pin()
+        vs.install(VersionEdit().install(
+            1, [fake_table("new", b"a", b"m")], [t0]))
+        vs.unpin(pinned)
+        retired = {t.path for t in vs.drain_retired()}
+        assert retired == {"old"}
+        assert vs.table_ref("keeper") == 1
+
+    def test_pin_of_current_never_retires(self):
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().add_l0(fake_table("1", b"a", b"z")))
+        pinned = vs.pin()
+        vs.unpin(pinned)
+        assert vs.drain_retired() == []
+        assert vs.table_ref("1") == 1
+
+    def test_conflicting_install_raises(self):
+        t0 = fake_table("old", b"a", b"z")
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().add_l0(t0))
+        vs.install(VersionEdit().install(
+            1, [fake_table("new", b"a", b"z")], [t0]))
+        with pytest.raises(CompactionError):
+            vs.install(VersionEdit().install(
+                2, [fake_table("newer", b"a", b"z")], [t0]))
+
+    def test_unpin_unknown_version_raises(self):
+        vs = VersionSet(Version(4))
+        with pytest.raises(LSMError):
+            vs.unpin(Version(4))
+
+    def test_force_release_counts_leaks(self):
+        vs = VersionSet(Version(4))
+        vs.pin()
+        vs.pin()
+        assert vs.force_release() == 2
+        assert vs.pinned_count() == 0
+
+    def test_reset_rejected_with_pins(self):
+        vs = VersionSet(Version(4))
+        vs.pin()
+        with pytest.raises(LSMError):
+            vs.reset(Version(4))
+
+    def test_live_versions(self):
+        vs = VersionSet(Version(4))
+        assert vs.live_versions() == 1
+        pinned = vs.pin()
+        vs.install(VersionEdit().add_l0(fake_table("1", b"a", b"z")))
+        assert vs.live_versions() == 2
+        vs.unpin(pinned)
+        assert vs.live_versions() == 1
+
+    def test_close_retires_current_tables(self):
+        vs = VersionSet(Version(4))
+        vs.install(VersionEdit().add_l0(fake_table("1", b"a", b"z")))
+        vs.close()
+        assert [t.path for t in vs.drain_retired()] == ["1"]
+        with pytest.raises(LSMError):
+            vs.install(VersionEdit().add_l0(fake_table("2", b"a", b"z")))

@@ -231,3 +231,42 @@ class TestDecodedLayer:
         with pytest.raises(ConfigError):
             PageCache(device, 64 * device.model.block_size,
                       decoded_capacity=-1)
+
+
+class TestVersionScopedIdentity:
+    """Cache keys carry the file generation: a recycled path (delete +
+    recreate, or rename onto) must never serve blocks of its previous
+    life, even when nobody calls ``invalidate_file``."""
+
+    def test_recreated_path_never_serves_stale_pages(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"old" * 100)
+        assert cache.read("a", 0, 6) == b"oldold"
+        device.delete_file("a")
+        device.create_file("a", b"new" * 100)
+        assert cache.read("a", 0, 6) == b"newnew"
+
+    def test_recreated_path_never_serves_stale_decoded_objects(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"old" * 100)
+        assert bytes(cache.read_decoded("a", 0, 6, bytes)) == b"oldold"
+        device.delete_file("a")
+        device.create_file("a", b"new" * 100)
+        assert bytes(cache.read_decoded("a", 0, 6, bytes)) == b"newnew"
+        # The stale generation's entries are dead weight, not servable.
+        assert cache.stats.decoded_hits == 0
+
+    def test_rename_onto_cached_path_serves_target_content(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"old" * 100)
+        device.create_file("b", b"new" * 100)
+        assert cache.read("a", 0, 6) == b"oldold"
+        device.rename("b", "a")
+        assert cache.read("a", 0, 6) == b"newnew"
+
+    def test_append_invalidates_tail_block_identity(self):
+        _, device, cache = make_cache()
+        device.create_file("a", b"x" * 10)
+        assert cache.read("a", 0, 10) == b"x" * 10
+        device.append("a", b"y" * 10)
+        assert cache.read("a", 0, 20) == b"x" * 10 + b"y" * 10

@@ -238,3 +238,45 @@ class TestDetectorThreadSafety:
         verdict = detector.verdict(1)
         assert verdict.requests_seen == threads * per_thread
         assert verdict.flagged  # all misses: the guessing-phase signature
+
+
+class TestBackgroundCompactionParity:
+    """Defense decisions must not depend on the compaction mode.
+
+    Background compaction changes *when* merge I/O happens (and charges
+    none of it to the simulated clock), but the detector keys off request
+    patterns, so the flood below must produce identical statuses and
+    identical defense decision counters whether compaction runs inline or
+    on the background thread.
+    """
+
+    def _run(self, mode, background_compaction):
+        env = build_environment(DatasetConfig(
+            num_keys=300, key_width=4, seed=5,
+            filter_builder=SuRFBuilder(variant="real", suffix_bits=8),
+            background_compaction=background_compaction,
+        ))
+        defended = build_defended_service(env.service, mode=mode)
+        keys = _guess_keys(320)
+        statuses = []
+        # Interleave owner write bursts (forcing flushes and, in one of
+        # the two runs, background compactions) with the guessing flood.
+        for start in range(0, len(keys), 64):
+            items = [(b"wr%06d" % (start * 8 + i), b"y" * 48)
+                     for i in range(64)]
+            env.service.put_many(OWNER_USER, items)
+            statuses.extend(
+                response.status for response in defended.get_many(
+                    ATTACKER_USER, keys[start:start + 64]))
+        snapshot = defended.defense_snapshot()
+        env.db.close()
+        assert env.db.leaked_pins == 0
+        return statuses, snapshot
+
+    @pytest.mark.parametrize("mode", ["throttle", "noise"])
+    def test_verdicts_identical_with_and_without_background(self, mode):
+        statuses_sync, snap_sync = self._run(mode, False)
+        statuses_bg, snap_bg = self._run(mode, True)
+        assert statuses_sync == statuses_bg
+        assert snap_sync == snap_bg
+        assert snap_bg.flagged_users == 1  # the flood was caught
