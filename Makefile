@@ -7,7 +7,7 @@
 PYTHON ?= python
 PY39 ?= python3.9
 
-.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke async-smoke mvcc-smoke torture clean
+.PHONY: check test test39 bench serve-smoke ingest-smoke probe-smoke async-smoke mvcc-smoke range-smoke torture clean
 
 check: test test39
 
@@ -62,6 +62,14 @@ async-smoke:
 mvcc-smoke:
 	REPRO_MVCC_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_mixed_workload.py -q --benchmark-disable
+
+# Small-N run of the sorted-view range bench: asserts scan results,
+# extracted keys and simulated time are bit-identical with the view off
+# and on, with zero leaked pins — without the full-size timing runs, and
+# without touching the committed results files.
+range-smoke:
+	REPRO_RANGE_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_range_view.py -q --benchmark-disable
 
 # One real TCP round trip through the wire-protocol server: build a small
 # store, serve it, ping + get + stats from a client, shut down cleanly.

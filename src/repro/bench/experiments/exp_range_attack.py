@@ -34,12 +34,12 @@ from repro.workloads.datasets import ATTACKER_USER, DatasetConfig, build_environ
 PAPER_CLAIM = ("(anticipated by sections 5 and 11) Range-query attacks "
                "exist: separate point/range filters and Rosetta do not "
                "block them")
-SCALE_NOTE = ("SuRF-Real 10k 40-bit keys, 30-key target; Rosetta 5k 32-bit "
+SCALE_NOTE = ("SuRF-Real 100k 40-bit keys, 50-key target; Rosetta 50k 32-bit "
               "keys; point attack shown for comparison")
 
 
 @functools.lru_cache(maxsize=2)
-def run(num_keys: int = 10_000, target_keys: int = 30,
+def run(num_keys: int = 100_000, target_keys: int = 50,
         seed: int = 0) -> ExperimentReport:
     """Range descent vs point attack on SuRF; range descent on Rosetta."""
     rows = []
@@ -75,7 +75,7 @@ def run(num_keys: int = 10_000, target_keys: int = 30,
 
     # --- Rosetta: blocked for points, transparent for ranges ------------
     rosetta_env = build_environment(DatasetConfig(
-        num_keys=5_000, key_width=4, seed=seed,
+        num_keys=max(num_keys // 2, 1), key_width=4, seed=seed,
         filter_builder=RosettaFilterBuilder(key_bytes=4,
                                             bits_per_key_per_level=8.0)))
     rosetta_oracle = IdealizedRangeOracle(rosetta_env.service, ATTACKER_USER)

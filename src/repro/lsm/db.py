@@ -38,6 +38,7 @@ from repro.lsm.recovery import (
     QuarantinedFile,
     RecoveryReport,
 )
+from repro.lsm.sorted_view import UNBUILDABLE, ensure_view
 from repro.lsm.sstable import SSTable, SSTableBuilder, SSTableReader
 from repro.lsm.version import Version, VersionEdit, VersionSet
 from repro.lsm.wal import WriteAheadLog
@@ -59,6 +60,12 @@ class DBStats:
     filter_negatives: int = 0
     table_reads: int = 0
     flushes: int = 0
+    #: Range reads served through the sorted view (wall-clock routing
+    #: counters — never part of the simulated-time contract).
+    sorted_view_seeks: int = 0
+    #: Sorted-view segments (re)constructed, eagerly at install time or
+    #: lazily by a range read.
+    view_rebuild_segments: int = 0
 
     @property
     def filter_positives(self) -> int:
@@ -119,6 +126,121 @@ class ProbePlan:
         return table.get(key)
 
 
+def _range_filter_of(table: SSTable):
+    """The table's range-capable filter, or None.
+
+    Point-only filters (plain Bloom) lack ``may_contain_range`` and can
+    never prune a range read; every range path treats them as absent
+    through this single guard.  The capability check itself runs once,
+    at table construction (``SSTable.range_filter``).
+    """
+    return table.range_filter
+
+
+def _bounded(iterator, high: bytes):
+    """Cut a sorted (key, entry) stream at the first key past ``high``."""
+    for key, entry in iterator:
+        if key > high:
+            return
+        yield key, entry
+
+
+def _plan_range_sources(ctx, version: Version, low: bytes,
+                        high: Optional[bytes],
+                        bound: Optional[bytes] = None) -> List[SSTable]:
+    """Charged filter-probe prepass of a range read, in merge order.
+
+    Walks ``version``'s overlapping tables level by level, consults each
+    range-capable filter (charging the probe cost and counting stats),
+    and returns the tables the read must actually merge.  Shared by the
+    sorted-view and classic engines — and by :class:`LSMTree` and
+    :class:`~repro.lsm.snapshot.SnapshotView` as the read context
+    ``ctx`` — so the probe side channel cannot depend on the engine.
+    ``high=None`` (open-ended cursor) skips the probes and selects
+    tables by ``bound`` instead.
+    """
+    costs = ctx.options.costs
+    stats = ctx.stats
+    if bound is None:
+        bound = high
+    probe = high is not None
+    active: List[SSTable] = []
+    append = active.append
+    table_reads = 0
+    overlapping = version.overlapping
+    for level in range(ctx.options.max_levels):
+        for table in overlapping(level, low, bound):
+            if probe:
+                filt = table.range_filter
+                if filt is not None:
+                    stats.filter_checks += 1
+                    ctx.charge_cost(costs.filter_query_cost_us)
+                    if not filt.may_contain_range(low, high):
+                        stats.filter_negatives += 1
+                        continue
+            table_reads += 1
+            append(table)
+    stats.table_reads += table_reads
+    return active
+
+
+def _view_of(ctx, version: Version):
+    """The version's sorted view under ``ctx``'s options, or None.
+
+    Builds lazily on first use (charge-free — key maps decode straight
+    off the tables' mapped regions); a version that cannot be mapped
+    falls back to the classic merge permanently.
+    """
+    if not ctx.options.sorted_view:
+        return None
+    return ensure_view(version, ctx.options.build_threads, ctx.stats)
+
+
+def _range_query_impl(ctx, version: Version, mem_items_from, low: bytes,
+                      high: bytes, limit: Optional[int]
+                      ) -> List[Tuple[bytes, bytes]]:
+    """Body of a bounded range read against a pinned ``version``.
+
+    ``ctx`` duck-types the read context (options/stats/clock/cache/
+    ``_cost_rng``/``charge_cost``) so the live tree and snapshot views
+    share one implementation.  The consumption loop hoists the per-step
+    charge exactly as ``ctx.charge_cost`` computes it — bit-identical
+    draws and charges, engine on or off.
+    """
+    from repro.lsm.iterator import merge_entries
+    costs = ctx.options.costs
+    stats = ctx.stats
+    stats.range_queries += 1
+    ctx.charge_cost(costs.range_seek_cost_us)
+    active = _plan_range_sources(ctx, version, low, high)
+    view = _view_of(ctx, version)
+    if view is not None:
+        stats.sorted_view_seeks += 1
+        merged = view.walk(active, mem_items_from(low), low, high, ctx.cache)
+    else:
+        sources = [_bounded(mem_items_from(low), high)]
+        sources.extend(_bounded(table.reader.iterate_from(low, ctx.cache),
+                                high) for table in active)
+        merged = merge_entries(sources)
+    next_cost = costs.range_next_cost_us
+    jitter = costs.jitter
+    gauss = ctx._cost_rng.gauss
+    clock_charge = ctx.clock.charge
+    out: List[Tuple[bytes, bytes]] = []
+    append = out.append
+    for key, entry in merged:
+        if jitter:
+            clock_charge(next_cost * max(0.1, gauss(1.0, jitter)))
+        else:
+            clock_charge(next_cost)
+        if entry.is_tombstone:
+            continue
+        append((key, entry.value))
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
 class LSMTree:
     """A single-node LSM-tree key-value store over simulated storage."""
 
@@ -150,6 +272,8 @@ class LSMTree:
         self._compactor = Compactor(self.device, self.cache, self.options,
                                     self.versions, self._allocate_path)
         self.stats = DBStats()
+        if self.options.sorted_view:
+            self.versions.on_install = self._on_version_install
         self._cost_rng = rng.spawn("costs")
         self._closed = False
         #: Reader pins still outstanding when :meth:`close` reclaimed them.
@@ -182,6 +306,26 @@ class LSMTree:
             self._background = BackgroundCompactor(self._background_work)
         #: Filled by :meth:`reopen`; None for a freshly created tree.
         self.recovery_report: Optional[RecoveryReport] = None
+
+    def _on_version_install(self, base: Version, successor: Version,
+                            edit: VersionEdit) -> None:
+        """Carry the sorted view across an install, incrementally.
+
+        Runs on whichever thread installed (foreground flush/compaction
+        or the background compactor), outside the version-set lock.
+        Only segments whose key span intersects an added or removed
+        table's range are rebuilt; when too little survives (a
+        whole-keyspace memtable flush) the successor stays viewless and
+        the next range read rebuilds in full, lazily.  Pure wall-clock
+        bookkeeping — no charges, no RNG draws.
+        """
+        base_view = base._view
+        if base_view is None or base_view is UNBUILDABLE:
+            return
+        view = base_view.evolve(successor, edit, self.options.build_threads)
+        if view is not None:
+            successor._view = view
+            self.stats.view_rebuild_segments += view.rebuilt_segments
 
     def _background_work(self) -> None:
         """One background cycle: drain triggers, then durably commit."""
@@ -831,52 +975,47 @@ class LSMTree:
 
         Uses each table's range filter (when available) to skip tables
         whose filter proves the intersection empty — the optimization that
-        motivated range filters (section 2.2).
+        motivated range filters (section 2.2).  With
+        ``options.sorted_view`` the merge runs over the version's sorted
+        view (:mod:`repro.lsm.sorted_view`); filter probes, stats and
+        simulated-time charges are bit-identical either way.
         """
         self._check_open()
         if low > high:
             return []
-        costs = self.options.costs
-        self.stats.range_queries += 1
-        self.charge_cost(costs.range_seek_cost_us)
         # Scans read blocks lazily across the merge loop, so the version
         # stays pinned for the whole query regardless of engine mode.
         version = self.versions.pin()
         try:
-            sources = [self._bounded(self._memtable.items_from(low), high)]
-            for level in range(self.options.max_levels):
-                for table in version.overlapping(level, low, high):
-                    skip = False
-                    if table.filter is not None and hasattr(
-                            table.filter, "may_contain_range"):
-                        self.stats.filter_checks += 1
-                        self.charge_cost(costs.filter_query_cost_us)
-                        if not table.filter.may_contain_range(low, high):
-                            self.stats.filter_negatives += 1
-                            skip = True
-                    if not skip:
-                        self.stats.table_reads += 1
-                        sources.append(self._bounded(
-                            table.reader.iterate_from(low, self.cache), high))
-            from repro.lsm.iterator import merge_entries
-            out: List[Tuple[bytes, bytes]] = []
-            for key, entry in merge_entries(sources):
-                self.charge_cost(costs.range_next_cost_us)
-                if entry.is_tombstone:
-                    continue
-                out.append((key, entry.value))
-                if limit is not None and len(out) >= limit:
-                    break
-            return out
+            return _range_query_impl(self, version, self._memtable.items_from,
+                                     low, high, limit)
         finally:
             self.versions.unpin(version)
+
+    def scan(self, low: bytes, high: Optional[bytes] = None,
+             limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
+        """Prefix-anchored scan: everything from ``low`` through its prefix.
+
+        ``high=None`` does **not** mean "skip filter pruning": a sound
+        range filter can never prune a truly open-ended scan (any
+        overlapping table's ``max_key`` is a stored key >= ``low``, so
+        the filter must pass), but it *can* prune the prefix range the
+        caller almost always means.  So an omitted bound derives the
+        inclusive bound ``low + 0xff * 64`` — every key extending ``low``
+        — and the filters are consulted as usual.  For a genuinely
+        unbounded cursor use :meth:`iterator`.
+        """
+        if high is None:
+            high = low + b"\xff" * 64
+        return self.range_query(low, high, limit=limit)
 
     def iterator(self, low: bytes = b"", high: Optional[bytes] = None):
         """Forward cursor over ``[low, high]`` (RocksDB-iterator analogue).
 
         Uses range filters to skip tables whose filters prove the bound
-        range empty (only when ``high`` is given — an open-ended scan has
-        no range to test).  Each step charges the range-iteration cost.
+        range empty (only when ``high`` is given — an open-ended cursor
+        has no range to test; see :meth:`scan` for the prefix-bounded
+        alternative).  Each step charges the range-iteration cost.
         """
         self._check_open()
         from repro.lsm.iterator import DBIterator
@@ -885,32 +1024,26 @@ class LSMTree:
         effective_high = high if high is not None else b"\xff" * 64
         version = self.versions.pin()
         try:
-            sources = [self._memtable.items_from(low)]
-            for level in range(self.options.max_levels):
-                for table in version.overlapping(level, low, effective_high):
-                    if (high is not None and table.filter is not None
-                            and hasattr(table.filter, "may_contain_range")):
-                        self.stats.filter_checks += 1
-                        self.charge_cost(costs.filter_query_cost_us)
-                        if not table.filter.may_contain_range(low, high):
-                            self.stats.filter_negatives += 1
-                            continue
-                    self.stats.table_reads += 1
-                    sources.append(table.reader.iterate_from(low, self.cache))
+            active = _plan_range_sources(self, version, low, high,
+                                         bound=effective_high)
+            view = _view_of(self, version)
+            if view is not None:
+                self.stats.sorted_view_seeks += 1
+                merged = view.walk(active, self._memtable.items_from(low),
+                                   low, None, self.cache)
+                sources = []
+            else:
+                merged = None
+                sources = [self._memtable.items_from(low)]
+                sources.extend(table.reader.iterate_from(low, self.cache)
+                               for table in active)
         except BaseException:
             self.versions.unpin(version)
             raise
         return DBIterator(
-            sources, high=high,
+            sources, high=high, merged=merged,
             on_step=lambda: self.charge_cost(costs.range_next_cost_us),
             on_close=lambda: self.versions.unpin(version))
-
-    @staticmethod
-    def _bounded(iterator, high: bytes):
-        for key, entry in iterator:
-            if key > high:
-                return
-            yield key, entry
 
     # ------------------------------------------------------- attack-side APIs
 
@@ -989,10 +1122,8 @@ class LSMTree:
         current = self.versions.current
         for level in range(self.options.max_levels):
             for table in current.overlapping(level, low, high):
-                filt = table.filter
-                if filt is None or not hasattr(filt, "may_contain_range"):
-                    return True
-                if filt.may_contain_range(low, high):
+                filt = _range_filter_of(table)
+                if filt is None or filt.may_contain_range(low, high):
                     return True
         return False
 

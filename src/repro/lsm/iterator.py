@@ -20,20 +20,41 @@ def merge_entries(sources: List[Iterable[Tuple[bytes, Entry]]]
                   ) -> Iterator[Tuple[bytes, Entry]]:
     """Merge sorted (key, entry) streams; ``sources[0]`` is newest.
 
-    Yields strictly ascending keys, one entry per key (the newest).
+    ``heapq.merge``-style k-way heap with these explicit semantics:
+
+    * **Heap order** is ``(key, source index)`` — never the entry, so
+      entries need not be comparable.  Since each source yields strictly
+      ascending keys, every heap element is unique and pops are total.
+    * **Newest wins**: when several sources carry the same key, the
+      lowest source index (the newest run) pops first and is emitted;
+      the older duplicates pop next and are dropped by the
+      ``previous_key`` shadow check.
+    * **Tombstones shadow**: a newer tombstone wins the tie like any
+      entry and *is emitted* — deciding whether a deletion is surfaced
+      or dropped is the caller's business (range reads drop them,
+      compaction keeps them above the bottom level).
+
+    Pull schedule (the simulated-time contract range reads rely on):
+    one pull per source up front, in source order; then exactly one pull
+    — a refill of the popped source — per element popped.  Abandoning
+    the generator stops all pulls.
     """
     heap: List[Tuple[bytes, int, Tuple[bytes, Entry], Iterator]] = []
     for priority, source in enumerate(sources):
         iterator = iter(source)
         first = next(iterator, None)
         if first is not None:
-            heapq.heappush(heap, (first[0], priority, first, iterator))
+            heap.append((first[0], priority, first, iterator))
+    heapq.heapify(heap)
     previous_key = None
+    heapreplace, heappop = heapq.heapreplace, heapq.heappop
     while heap:
-        key, priority, item, iterator = heapq.heappop(heap)
+        key, priority, item, iterator = heap[0]
         nxt = next(iterator, None)
         if nxt is not None:
-            heapq.heappush(heap, (nxt[0], priority, nxt, iterator))
+            heapreplace(heap, (nxt[0], priority, nxt, iterator))
+        else:
+            heappop(heap)
         if key == previous_key:
             continue  # shadowed by a newer source
         previous_key = key
@@ -53,8 +74,11 @@ class DBIterator:
 
     def __init__(self, sources: List[Iterable[Tuple[bytes, Entry]]],
                  high: Optional[bytes] = None,
-                 on_step=None, on_close=None) -> None:
-        self._merged = merge_entries(sources)
+                 on_step=None, on_close=None, merged=None) -> None:
+        # ``merged`` substitutes a pre-merged (key, entry) stream (the
+        # sorted-view walk) for the heap merge over ``sources``; the
+        # cursor's bound/step/close behaviour is identical either way.
+        self._merged = merged if merged is not None else merge_entries(sources)
         self._high = high
         self._on_step = on_step
         self._on_close = on_close

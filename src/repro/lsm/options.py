@@ -91,6 +91,18 @@ class LSMOptions:
     #: selects the pre-engine scalar probes (kept as the equivalence and
     #: benchmark baseline, mirroring ``build_threads=0``).
     probe_engine: bool = True
+    #: REMIX-style sorted view over each version's tables
+    #: (:mod:`repro.lsm.sorted_view`): range reads seek a per-version
+    #: globally-sorted key array and step forward cursors instead of
+    #: rebuilding a k-way heap merge per query.  Views are maintained
+    #: incrementally at install time (only segments whose input tables
+    #: changed are rebuilt, through the parallel build pool) and carried
+    #: on ``Version`` objects, so snapshots share them for free.  Results,
+    #: per-filter stats and simulated time are bit-identical on and off
+    #: (see DESIGN.md section 13); ``False`` selects the classic merge
+    #: (kept as the equivalence and benchmark baseline, mirroring
+    #: ``build_threads=0`` / ``probe_engine=False``).
+    sorted_view: bool = True
     #: Run leveled compaction on a background thread: flushes install the
     #: L0 table and return immediately; merges run concurrently with
     #: serving through the MVCC version set (readers pin snapshots, so

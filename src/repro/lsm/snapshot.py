@@ -22,13 +22,17 @@ and the attack oracles consume (``clock``/``options``/``stats``/
 ``charge_cost``/``get``/``get_timed``/``getter``/``probe_plan``/
 ``get_many``/``get_many_timed``/``filters_pass``/``filters_pass_many``),
 so ``KVService(db=tree.snapshot())`` runs the full attack machinery
-against a frozen store with no further changes.  Point reads only; use
-the live tree for scans and writes.
+against a frozen store with no further changes.  Range reads
+(``range_query``/``scan``) are served through the same engine as the
+live tree — including the pinned version's sorted view, which the
+snapshot shares for free — so the range side channel is identically
+frozen; writes still require the live tree.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import DBClosedError
 from repro.common.rng import make_rng
@@ -50,6 +54,7 @@ class SnapshotView:
         #: The memtable frozen at snapshot time (includes tombstones,
         #: exactly like the live memtable's shadowing behaviour).
         self._memtable: Dict[bytes, Entry] = dict(db._memtable.items())
+        self._memtable_sorted: Optional[List[Tuple[bytes, Entry]]] = None
         self.clock = SimClock()
         self.clock.advance_to(db.clock.now_us)
         rng = make_rng(db.options.seed, f"snapshot-{snapshot_id}")
@@ -249,6 +254,42 @@ class SnapshotView:
             value = get_one(key)
             append((value, clock.now_us - start))
         return out
+
+    # ------------------------------------------------------------ range reads
+
+    def _memtable_from(self, low: bytes) -> Iterator[Tuple[bytes, Entry]]:
+        """Frozen-memtable analogue of ``MemTable.items_from``.
+
+        Sorted lazily on first range read; ``(low,)`` compares below
+        ``(low, entry)`` so ``bisect_left`` lands on the first key >= low.
+        """
+        items = self._memtable_sorted
+        if items is None:
+            items = self._memtable_sorted = sorted(self._memtable.items())
+        return iter(items[bisect_left(items, (low,)):])
+
+    def range_query(self, low: bytes, high: bytes,
+                    limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
+        """Bounded range read against the frozen state.
+
+        Same engine as ``LSMTree.range_query`` — filter-probe prepass,
+        then the pinned version's sorted view (shared with the live tree
+        at no cost) or the classic heap merge — charged against the
+        snapshot's own clock and RNG streams.
+        """
+        self._check_open()
+        if low > high:
+            return []
+        from repro.lsm.db import _range_query_impl
+        return _range_query_impl(self, self.version, self._memtable_from,
+                                 low, high, limit)
+
+    def scan(self, low: bytes, high: Optional[bytes] = None,
+             limit: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
+        """Prefix-anchored scan (see ``LSMTree.scan`` for the bound rule)."""
+        if high is None:
+            high = low + b"\xff" * 64
+        return self.range_query(low, high, limit=limit)
 
     # ------------------------------------------------------- attack-side APIs
 

@@ -18,7 +18,7 @@ it on reopen — no key re-scan needed.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, CorruptionError, StorageError
@@ -339,6 +339,16 @@ class SSTable:
     max_key: bytes
     num_entries: int
     size_bytes: int
+    #: ``filter`` when it can answer range probes, else None.  Resolved
+    #: once at construction so the per-query source-planning loop reads
+    #: a plain attribute instead of re-deriving the capability check
+    #: (:func:`repro.lsm.db._range_filter_of` is the lookup's one home).
+    range_filter: Optional[Filter] = dc_field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        filt = self.filter
+        if filt is not None and hasattr(filt, "may_contain_range"):
+            self.range_filter = filt
 
     def covers(self, key: bytes) -> bool:
         """Whether ``key`` falls within this table's key range."""

@@ -25,8 +25,8 @@ MVCC model (DESIGN.md section 12):
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import CompactionError, LSMError
 from repro.lsm.sstable import SSTable
@@ -111,7 +111,7 @@ class Version:
     :meth:`apply`, which returns a new version.
     """
 
-    __slots__ = ("max_levels", "levels", "_max_keys")
+    __slots__ = ("max_levels", "levels", "_max_keys", "_min_keys", "_view")
 
     def __init__(self, max_levels: int,
                  levels: Optional[Sequence[Sequence[SSTable]]] = None) -> None:
@@ -121,10 +121,15 @@ class Version:
                 () for _ in range(max_levels))
         else:
             self.levels = tuple(tuple(tables) for tables in levels)
-        # Lazily-built per-level max_key arrays for binary search on the
-        # hot path.  Safe under concurrency: the computed list is
+        # Lazily-built per-level min/max_key arrays for binary search on
+        # the hot paths.  Safe under concurrency: the computed list is
         # identical no matter which thread builds it first.
         self._max_keys: List[Optional[List[bytes]]] = [None] * max_levels
+        self._min_keys: List[Optional[List[bytes]]] = [None] * max_levels
+        #: The version's sorted view (:mod:`repro.lsm.sorted_view`),
+        #: filled eagerly at install time or lazily by the first range
+        #: read; None = not built, the UNBUILDABLE sentinel = gave up.
+        self._view = None
 
     @classmethod
     def from_levels(cls, max_levels: int,
@@ -202,8 +207,29 @@ class Version:
         return None
 
     def overlapping(self, level: int, low: bytes, high: bytes) -> List[SSTable]:
-        """Tables at ``level`` intersecting ``[low, high]``."""
-        return [t for t in self.levels[level] if t.overlaps(low, high)]
+        """Tables at ``level`` intersecting ``[low, high]``, in level order.
+
+        Deep levels are sorted and non-overlapping, so both their
+        ``min_key`` and ``max_key`` sequences ascend and the intersecting
+        tables form one contiguous slice: two bisects replace the linear
+        sweep.  L0 runs overlap arbitrarily and keep the scan.  The
+        range-descent attack calls this ~10^6 times per run (via
+        ``range_filters_pass``), so this is the hot path at paper scale.
+        """
+        tables = self.levels[level]
+        if level == 0 or not tables:
+            return [t for t in tables if t.overlaps(low, high)]
+        max_keys = self._max_keys[level]
+        if max_keys is None:
+            max_keys = [t.max_key for t in tables]
+            self._max_keys[level] = max_keys
+        min_keys = self._min_keys[level]
+        if min_keys is None:
+            min_keys = [t.min_key for t in tables]
+            self._min_keys[level] = min_keys
+        start = bisect_left(max_keys, low)
+        stop = bisect_right(min_keys, high)
+        return list(tables[start:stop])
 
     # ------------------------------------------------------------------ stats
 
@@ -256,6 +282,11 @@ class VersionSet:
 
     def __init__(self, initial: Version) -> None:
         self.current = initial
+        #: Optional install hook ``(base, successor, edit) -> None``,
+        #: invoked *outside* the lock after every successful install —
+        #: the sorted-view maintainer hangs off this.  Exceptions
+        #: propagate to the installer; hooks must be pure bookkeeping.
+        self.on_install: Optional[Callable] = None
         self._lock = threading.Lock()
         #: version -> outstanding reader pins.
         self._pins: Dict[Version, int] = {}
@@ -331,7 +362,10 @@ class VersionSet:
             self.current = successor
             if base not in self._pins:
                 self._release_tables(base)
-            return successor
+        on_install = self.on_install
+        if on_install is not None:
+            on_install(base, successor, edit)
+        return successor
 
     def _release_tables(self, version: Version) -> None:
         """Drop ``version``'s table references (lock held by caller)."""

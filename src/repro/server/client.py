@@ -74,6 +74,10 @@ class ServerStats:
     #: Compaction progress (zeros in stores without background threads).
     compactions_run: int = 0
     background_cycles: int = 0
+    #: Range-read engine counters (zeros with the classic heap merge).
+    range_queries: int = 0
+    sorted_view_seeks: int = 0
+    view_rebuild_segments: int = 0
 
 
 class WireConnection:

@@ -33,8 +33,9 @@ from repro.common.errors import ProtocolError, VersionMismatchError
 from repro.system.responses import Response, Status
 
 MAGIC = b"PS"
-#: v2 widened the STATS payload with the defense decision counters.
-PROTOCOL_VERSION = 2
+#: v2 widened the STATS payload with the defense decision counters; v3
+#: widened it again with the range-read engine counters.
+PROTOCOL_VERSION = 3
 
 #: Hard cap on a single key (the length field is 16-bit).
 MAX_KEY_BYTES = 0xFFFF
@@ -59,7 +60,7 @@ _PUT_PREFIX = struct.Struct("!QBH")
 _PUT_MANY_PREFIX = struct.Struct("!QBI")
 _PUT_MANY_RESPONSE = struct.Struct("!Id")
 _RESULT_PREFIX = struct.Struct("!BdB")
-_STATS = struct.Struct("!dQQQQdQdQQQQQ")
+_STATS = struct.Struct("!dQQQQdQdQQQQQQQQ")
 
 #: PUT/PUT_MANY request flag: store the object world-readable.
 PUT_FLAG_PUBLIC_READ = 0x01
@@ -463,6 +464,13 @@ class StatsSnapshot:
     #: background-compaction thread cycles; zeros in sync-only stores.
     compactions_run: int = 0
     background_cycles: int = 0
+    #: Range-read engine counters (DESIGN.md §13): bounded range reads
+    #: served, how many of them went through the per-version sorted view,
+    #: and segments rebuilt by incremental view maintenance.  Zeros when
+    #: the store runs the classic heap merge.
+    range_queries: int = 0
+    sorted_view_seeks: int = 0
+    view_rebuild_segments: int = 0
 
 
 def encode_stats_response(stats: StatsSnapshot) -> bytes:
@@ -472,7 +480,9 @@ def encode_stats_response(stats: StatsSnapshot) -> bytes:
                        stats.eviction_wait_us, stats.stalled_requests,
                        stats.total_stall_us, stats.flagged_users,
                        stats.throttle_escalations, stats.noise_injections,
-                       stats.compactions_run, stats.background_cycles)
+                       stats.compactions_run, stats.background_cycles,
+                       stats.range_queries, stats.sorted_view_seeks,
+                       stats.view_rebuild_segments)
 
 
 def decode_stats_response(payload: bytes) -> StatsSnapshot:

@@ -168,6 +168,7 @@ def collect_stats(service, background: Optional[BackgroundLoad] = None
     compactor = (getattr(db, "_bg_compactor", None)
                  or getattr(db, "_compactor", None))
     background_thread = getattr(db, "_background", None)
+    dbstats = getattr(db, "stats", None)
     return protocol.StatsSnapshot(
         sim_now_us=service.db.clock.now_us,
         requests=stats.requests if stats else 0,
@@ -183,6 +184,10 @@ def collect_stats(service, background: Optional[BackgroundLoad] = None
         compactions_run=compactor.compactions_run if compactor else 0,
         background_cycles=(background_thread.cycles
                            if background_thread is not None else 0),
+        range_queries=dbstats.range_queries if dbstats else 0,
+        sorted_view_seeks=dbstats.sorted_view_seeks if dbstats else 0,
+        view_rebuild_segments=(dbstats.view_rebuild_segments
+                               if dbstats else 0),
     )
 
 

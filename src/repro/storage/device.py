@@ -209,9 +209,13 @@ class StorageDevice:
         self._generations[path] = self._generations.get(path, 0) + 1
 
     def file_generation(self, path: str) -> int:
-        """Current generation of ``path`` (0 if never written)."""
-        with self._lock:
-            return self._generations.get(path, 0)
+        """Current generation of ``path`` (0 if never written).
+
+        Lock-free: a single dict read is atomic under the GIL, and
+        generations only move forward — the hottest cache paths call
+        this once per block read, so the lock would be pure overhead.
+        """
+        return self._generations.get(path, 0)
 
     def create_file(self, path: str, data: bytes) -> None:
         """Write a complete immutable file (SSTables are write-once)."""

@@ -57,3 +57,64 @@ def test_matches_dict_union_semantics(layers):
     assert merged == expected
     keys = [k for k, _ in merge_entries(sources)]
     assert keys == sorted(keys)
+
+
+#: A run maps keys to a value or ``None`` (= delete); runs overlap freely.
+_RUNS = st.lists(
+    st.dictionaries(st.binary(min_size=1, max_size=4),
+                    st.one_of(st.none(), st.binary(max_size=4)),
+                    max_size=40),
+    min_size=1, max_size=6)
+
+
+@given(_RUNS)
+@settings(max_examples=120)
+def test_matches_dict_oracle_with_deletes(runs):
+    """Merged stream ≡ the sorted dict-oracle stream, tombstones included.
+
+    The oracle applies runs oldest-to-newest into one dict (``None``
+    marking a deletion) — exactly the visibility rule the LSM read path
+    implements.  The merge must surface every surviving key once, in
+    sorted order, with the newest run's entry (a tombstone when the
+    newest write was a delete — dropping it is the caller's business).
+    """
+    sources = [sorted((k, TOMBSTONE if v is None else Entry(v))
+                      for k, v in run.items()) for run in runs]
+    oracle = {}
+    for run in reversed(runs):
+        oracle.update(run)
+    merged = list(merge_entries(sources))
+    keys = [k for k, _ in merged]
+    assert keys == sorted(oracle)
+    got = {k: (None if e.is_tombstone else e.value) for k, e in merged}
+    assert got == oracle
+
+
+@given(_RUNS)
+@settings(max_examples=60)
+def test_pull_schedule_contract(runs):
+    """One pull per source up front, then one refill per popped element.
+
+    The sorted-view walk replays this exact schedule against the page
+    cache, so the merge must never pull ahead or lag behind it.
+    """
+    sources = [sorted((k, TOMBSTONE if v is None else Entry(v))
+                      for k, v in run.items()) for run in runs]
+    pulls = []
+
+    def spy(index, items):
+        for item in items:
+            pulls.append(index)
+            yield item
+        pulls.append(index)  # the exhausting pull
+
+    spied = [spy(i, items) for i, items in enumerate(sources)]
+    total_elements = sum(len(items) for items in sources)
+    consumed = 0
+    for _ in merge_entries(spied):
+        consumed += 1
+    assert consumed == len({k for items in sources for k, _ in items})
+    # Init pulls, in source order, happen first.
+    assert pulls[:len(sources)] == list(range(len(sources)))
+    # Then exactly one refill per element popped off the heap.
+    assert len(pulls) == len(sources) + total_elements

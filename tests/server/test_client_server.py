@@ -67,6 +67,19 @@ class TestBasicRequests:
         assert stats.unauthorized >= start.unauthorized + 1
         assert stats.sim_now_us > 0
 
+    def test_stats_surface_range_engine_counters(self, loopback, wire_env):
+        client = loopback.connect()
+        start = client.stats()
+        low = wire_env.keys[0]
+        wire_env.db.range_query(low, low + b"\xff")
+        wire_env.db.scan(low[:2])
+        stats = client.stats()
+        assert stats.range_queries == start.range_queries + 2
+        # The served store runs with the sorted view on, so the reads
+        # routed through it and the first one built the version's view.
+        assert stats.sorted_view_seeks == start.sorted_view_seeks + 2
+        assert stats.view_rebuild_segments > 0
+
     def test_wait_advances_simulated_clock(self, loopback):
         client = loopback.connect()
         before = client.sim_now_us()

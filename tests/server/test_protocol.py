@@ -181,10 +181,25 @@ class TestControlCodecs:
     @given(stats=st.builds(
         StatsSnapshot, sim_times,
         *[st.integers(min_value=0, max_value=2**32) for _ in range(4)],
-        sim_times, st.integers(min_value=0, max_value=2**32), sim_times))
+        sim_times, st.integers(min_value=0, max_value=2**32), sim_times,
+        # defense, compaction and range-engine counters
+        *[st.integers(min_value=0, max_value=2**32) for _ in range(8)]))
     def test_stats_round_trip(self, stats):
         wire = protocol.encode_stats_response(stats)
         assert protocol.decode_stats_response(wire) == stats
+
+    def test_stats_round_trip_range_counters(self):
+        stats = StatsSnapshot(
+            sim_now_us=1.5, requests=9, ok=7, not_found=1, unauthorized=1,
+            eviction_wait_us=0.0, stalled_requests=0, total_stall_us=0.0,
+            range_queries=123, sorted_view_seeks=120,
+            view_rebuild_segments=17)
+        decoded = protocol.decode_stats_response(
+            protocol.encode_stats_response(stats))
+        assert decoded == stats
+        assert decoded.range_queries == 123
+        assert decoded.sorted_view_seeks == 120
+        assert decoded.view_rebuild_segments == 17
 
     @given(duration=st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
     def test_wait_round_trip(self, duration):
